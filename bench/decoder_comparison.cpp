@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Decoder comparison: accuracy and cost of the three global
+ * decoders (exact MWPM, greedy matching, union-find clustering)
+ * behind the master controller. The paper's two-level decode scheme
+ * leaves "complex error patterns" to the global decoder; this bench
+ * quantifies the accuracy/latency trade-off of that component.
+ */
+
+#include "bench_util.hpp"
+#include "decode/cluster_decoder.hpp"
+#include "qecc/extractor.hpp"
+
+namespace {
+
+using namespace quest;
+using decode::ClusterDecoder;
+using decode::MwpmDecoder;
+
+struct Experiment
+{
+    explicit Experiment(std::size_t d)
+        : lattice(qecc::Lattice::forDistance(d)),
+          schedule(qecc::buildRoundSchedule(
+              lattice, qecc::protocolSpec(qecc::Protocol::Steane))),
+          extractor(schedule)
+    {}
+
+    /** One memory-experiment sample; returns detection events. */
+    decode::DetectionEvents
+    sample(double p, sim::Rng &rng, quantum::PauliFrame &frame) const
+    {
+        quantum::ErrorChannel channel(
+            quantum::ErrorRates{p, 0, 0, 0, p}, rng);
+        auto history = extractor.runRounds(frame, &channel,
+                                           lattice.rows() / 2 + 1);
+        history.push_back(extractor.runRound(frame, nullptr));
+        return decode::extractDetectionEvents(history, extractor);
+    }
+
+    bool
+    logicalError(quantum::PauliFrame &frame) const
+    {
+        if (extractor.runRound(frame, nullptr).any())
+            return true;
+        std::size_t x = 0, z = 0;
+        for (const qecc::Coord c : lattice.logicalZSupport())
+            x += frame.xError(lattice.index(c)) ? 1 : 0;
+        for (const qecc::Coord c : lattice.logicalXSupport())
+            z += frame.zError(lattice.index(c)) ? 1 : 0;
+        return (x % 2) || (z % 2);
+    }
+
+    qecc::Lattice lattice;
+    qecc::RoundSchedule schedule;
+    qecc::SyndromeExtractor extractor;
+};
+
+void
+printFigure()
+{
+    const int trials = 600;
+    const double p = 3e-3;
+    sim::Table table("Global decoder comparison (phenomenological "
+                     "p=3e-3, d-round memory experiment)");
+    table.header({ "distance", "MWPM exact", "matching greedy",
+                   "UF cluster", "mean cluster size" });
+
+    for (std::size_t d : { 3u, 5u, 7u }) {
+        const Experiment exp(d);
+        MwpmDecoder exact(exp.lattice, 14);
+        MwpmDecoder greedy(exp.lattice, 0);
+        ClusterDecoder cluster(exp.lattice);
+
+        int fail_exact = 0, fail_greedy = 0, fail_cluster = 0;
+        double cluster_events = 0, cluster_count = 0;
+        sim::Rng rng(99);
+        for (int t = 0; t < trials; ++t) {
+            quantum::PauliFrame frame(exp.lattice.numQubits());
+            const auto events = exp.sample(p, rng, frame);
+
+            quantum::PauliFrame fe = frame, fg = frame, fc = frame;
+            decode::applyCorrection(fe, exact.decode(events));
+            decode::applyCorrection(fg, greedy.decode(events));
+            decode::ClusterStats stats;
+            decode::applyCorrection(fc,
+                                    cluster.decode(events, stats));
+            fail_exact += exp.logicalError(fe) ? 1 : 0;
+            fail_greedy += exp.logicalError(fg) ? 1 : 0;
+            fail_cluster += exp.logicalError(fc) ? 1 : 0;
+            if (stats.clusters) {
+                cluster_events += double(events.total())
+                    / double(stats.clusters);
+                cluster_count += 1;
+            }
+        }
+        auto rate = [&](int fails) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2e",
+                          double(fails) / double(trials));
+            return std::string(buf);
+        };
+        char mean_cluster[32];
+        std::snprintf(mean_cluster, sizeof(mean_cluster), "%.2f",
+                      cluster_count ? cluster_events / cluster_count
+                                    : 0.0);
+        table.row({ std::to_string(d), rate(fail_exact),
+                    rate(fail_greedy), rate(fail_cluster),
+                    mean_cluster });
+    }
+    table.caption("exact MWPM is the accuracy reference; the "
+                  "cluster decoder trades little accuracy for "
+                  "near-linear scaling");
+    quest::bench::emit(table);
+}
+
+template <typename Decoder>
+void
+runDecoderBench(benchmark::State &state, std::size_t exact_limit)
+{
+    const Experiment exp(std::size_t(state.range(0)));
+    Decoder decoder = [&] {
+        if constexpr (std::is_same_v<Decoder, MwpmDecoder>)
+            return MwpmDecoder(exp.lattice, exact_limit);
+        else
+            return ClusterDecoder(exp.lattice);
+    }();
+    sim::Rng rng(7);
+
+    // Pre-generate event batches so only decoding is timed.
+    std::vector<decode::DetectionEvents> batches;
+    for (int i = 0; i < 32; ++i) {
+        quantum::PauliFrame frame(exp.lattice.numQubits());
+        batches.push_back(exp.sample(3e-3, rng, frame));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            decoder.decode(batches[i % batches.size()]));
+        ++i;
+    }
+}
+
+void
+BM_DecodeMwpmExact(benchmark::State &state)
+{
+    runDecoderBench<MwpmDecoder>(state, 14);
+}
+BENCHMARK(BM_DecodeMwpmExact)->Arg(5)->Arg(9)->Arg(13);
+
+void
+BM_DecodeGreedy(benchmark::State &state)
+{
+    runDecoderBench<MwpmDecoder>(state, 0);
+}
+BENCHMARK(BM_DecodeGreedy)->Arg(5)->Arg(9)->Arg(13);
+
+void
+BM_DecodeCluster(benchmark::State &state)
+{
+    runDecoderBench<ClusterDecoder>(state, 0);
+}
+BENCHMARK(BM_DecodeCluster)->Arg(5)->Arg(9)->Arg(13);
+
+} // namespace
+
+QUEST_BENCH_MAIN(printFigure)

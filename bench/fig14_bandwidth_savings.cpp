@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 14: global bandwidth savings with QuEST. Hardware-managed
+ * QECC in the MCEs buys at least five orders of magnitude; adding
+ * the software-managed logical instruction cache for distillation
+ * streams buys roughly three more, for ~eight orders total.
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "workloads/estimator.hpp"
+
+namespace {
+
+using namespace quest;
+using workloads::ResourceEstimator;
+
+void
+printFigure()
+{
+    sim::Table table("Figure 14: global bandwidth savings with "
+                     "QuEST (ProjectedD, Steane)");
+    table.header({ "workload", "baseline BW", "MCE-only savings",
+                   "+icache savings", "total log10" });
+
+    const ResourceEstimator est;
+    double geometric = 0.0;
+    const auto suite = workloads::workloadSuite();
+    for (const auto &w : suite) {
+        const auto r = est.estimate(w);
+        geometric += std::log10(r.totalSavings());
+        table.row({
+            w.name,
+            sim::formatRate(r.baselineBandwidth),
+            sim::formatCount(r.mceSavings()),
+            sim::formatCount(r.totalSavings()),
+            sim::formatCount(std::log10(r.totalSavings())),
+        });
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "geometric-mean total savings: 10^%.2f",
+                  geometric / double(suite.size()));
+    table.caption(buf);
+    table.caption("paper: >=5 orders from MCEs alone, ~8 orders "
+                  "with logical instruction caching");
+    quest::bench::emit(table);
+}
+
+void
+BM_FullEstimate(benchmark::State &state)
+{
+    const ResourceEstimator est;
+    const auto w = workloads::shor(512);
+    for (auto _ : state) {
+        auto r = est.estimate(w);
+        benchmark::DoNotOptimize(r.totalSavings());
+    }
+}
+BENCHMARK(BM_FullEstimate);
+
+} // namespace
+
+QUEST_BENCH_MAIN(printFigure)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 15: sensitivity of the global bandwidth savings to the
+ * physical qubit error rate. Lower error rates shrink the code
+ * distance and hence the QECC bloat (smaller MCE savings), while
+ * the magic-state distillation overhead barely moves because the
+ * factory count scales as C^log|log(e_r)|.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/estimator.hpp"
+
+namespace {
+
+using namespace quest;
+using workloads::EstimatorConfig;
+using workloads::ResourceEstimator;
+
+void
+printFigure()
+{
+    sim::Table table(
+        "Figure 15: savings sensitivity to qubit error rate (SHOR-512)");
+    table.header({ "error rate", "code distance", "physical qubits",
+                   "MCE-only savings", "total savings",
+                   "T-factory ratio" });
+
+    for (double p : { 1e-3, 1e-4, 1e-5 }) {
+        EstimatorConfig cfg;
+        cfg.physicalErrorRate = p;
+        const ResourceEstimator est(cfg);
+        const auto r = est.estimate(workloads::shor(512));
+        table.row({
+            sim::formatCount(p),
+            std::to_string(r.codeDistance),
+            sim::formatCount(r.physicalQubits),
+            sim::formatCount(r.mceSavings()),
+            sim::formatCount(r.totalSavings()),
+            sim::formatCount(r.tFactoryRatio()),
+        });
+    }
+    table.caption("paper: lower error rate -> fewer physical qubits "
+                  "-> smaller QECC bloat; distillation overhead "
+                  "stays roughly constant");
+    quest::bench::emit(table);
+}
+
+void
+BM_ErrorRateSweep(benchmark::State &state)
+{
+    const auto w = workloads::shor(512);
+    for (auto _ : state) {
+        double total = 0.0;
+        for (double p : { 1e-3, 1e-4, 1e-5 }) {
+            EstimatorConfig cfg;
+            cfg.physicalErrorRate = p;
+            total += ResourceEstimator(cfg).estimate(w).mceSavings();
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_ErrorRateSweep);
+
+} // namespace
+
+QUEST_BENCH_MAIN(printFigure)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 16: MCE throughput (qubits serviced per MCE) for the four
+ * syndrome designs across the three technology points, using each
+ * design's optimal 4 Kb microcode configuration. Slower gate
+ * technologies leave more streaming time per round, so
+ * ExperimentalS services the most qubits; the compact SC codes beat
+ * the deeper Shor-style extraction.
+ */
+
+#include "bench_util.hpp"
+#include "core/microcode.hpp"
+
+namespace {
+
+using namespace quest;
+using core::MicrocodeDesign;
+using core::MicrocodeModel;
+
+void
+printFigure()
+{
+    sim::Table table("Figure 16: qubits serviced per MCE "
+                     "(unit-cell ucode, optimal 4Kb config)");
+    table.header({ "syndrome", "ExperimentalS", "ProjectedF",
+                   "ProjectedD" });
+
+    for (qecc::Protocol proto : qecc::allProtocols) {
+        std::vector<std::string> row{ qecc::protocolName(proto) };
+        for (tech::Technology t : tech::allTechnologies) {
+            const MicrocodeModel model(qecc::protocolSpec(proto), t);
+            const tech::MemoryConfig cfg = model.optimalConfig(4096);
+            row.push_back(std::to_string(model.servicedQubits(
+                MicrocodeDesign::UnitCell, cfg)));
+        }
+        table.row(std::move(row));
+    }
+    table.caption("paper: throughput set by round duration / "
+                  "per-round uop demand x memory bandwidth");
+    quest::bench::emit(table);
+}
+
+void
+BM_OptimalConfigSearch(benchmark::State &state)
+{
+    const MicrocodeModel model(
+        qecc::protocolSpec(qecc::Protocol::SC17),
+        tech::Technology::ProjectedD);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.optimalConfig(4096));
+}
+BENCHMARK(BM_OptimalConfigSearch);
+
+} // namespace
+
+QUEST_BENCH_MAIN(printFigure)

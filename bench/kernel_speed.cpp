@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Raw kernel performance: the substrate's hot loops (stabilizer
+ * tableau gates and measurement, Pauli-frame syndrome extraction,
+ * LUT and MWPM decoding, 15-to-1 Monte-Carlo rounds). These are the
+ * pieces whose throughput bounds how large a lattice the simulator
+ * itself can sustain.
+ */
+
+#include "bench_util.hpp"
+#include "decode/pipeline.hpp"
+#include "distill/simulator.hpp"
+#include "qecc/extractor.hpp"
+#include "quantum/tableau.hpp"
+
+namespace {
+
+using namespace quest;
+
+void
+printFigure()
+{
+    sim::Table table("Simulator kernel benchmarks");
+    table.header({ "kernel", "notes" });
+    table.row({ "tableau gates/measure",
+                "CHP bit-packed; O(n) gates, O(n^2) measure" });
+    table.row({ "frame extraction round",
+                "Pauli frame; O(qubits) per round" });
+    table.row({ "two-level decode",
+                "LUT + exact-DP/greedy MWPM per window" });
+    table.row({ "15-to-1 MC round", "Reed-Muller syndrome check" });
+    table.caption("timings follow below");
+    quest::bench::emit(table);
+}
+
+void
+BM_TableauCnotLayer(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    quantum::Tableau t(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q + 1 < n; q += 2)
+            t.cnot(q, q + 1);
+    }
+    state.SetItemsProcessed(state.iterations() * long(n / 2));
+}
+BENCHMARK(BM_TableauCnotLayer)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_TableauMeasure(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    quantum::Tableau t(n);
+    sim::Rng rng(1);
+    for (std::size_t q = 0; q < n; ++q)
+        t.h(q);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            t.measureZ(rng.uniformInt(n), rng));
+    }
+}
+BENCHMARK(BM_TableauMeasure)->Arg(64)->Arg(256);
+
+void
+BM_SyndromeRound(benchmark::State &state)
+{
+    const auto d = std::size_t(state.range(0));
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
+    const auto schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
+    const qecc::SyndromeExtractor extractor(schedule);
+    quantum::PauliFrame frame(lattice.numQubits());
+    sim::Rng rng(1);
+    quantum::ErrorChannel channel(
+        quantum::ErrorRates::uniform(1e-3), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractor.runRound(frame, &channel));
+    state.SetItemsProcessed(state.iterations()
+                            * long(lattice.numQubits()));
+}
+BENCHMARK(BM_SyndromeRound)->Arg(5)->Arg(11)->Arg(21)->Arg(41);
+
+void
+BM_DecodeWindow(benchmark::State &state)
+{
+    const auto d = std::size_t(state.range(0));
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
+    const auto schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
+    const qecc::SyndromeExtractor extractor(schedule);
+    sim::Rng rng(7);
+    quantum::ErrorChannel channel(
+        quantum::ErrorRates::uniform(2e-3), rng);
+    decode::DecoderPipeline pipeline(lattice);
+    for (auto _ : state) {
+        state.PauseTiming();
+        quantum::PauliFrame frame(lattice.numQubits());
+        const auto history = extractor.runRounds(frame, &channel, d);
+        const auto events =
+            decode::extractDetectionEvents(history, extractor);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(pipeline.decode(events));
+    }
+}
+BENCHMARK(BM_DecodeWindow)->Arg(5)->Arg(11)->Arg(17);
+
+void
+BM_DistillationRound(benchmark::State &state)
+{
+    sim::Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(distill::simulateRound(1e-3, rng));
+}
+BENCHMARK(BM_DistillationRound);
+
+} // namespace
+
+QUEST_BENCH_MAIN(printFigure)

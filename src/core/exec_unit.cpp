@@ -1,0 +1,40 @@
+#include "exec_unit.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::core {
+
+QuantumExecutionUnit::QuantumExecutionUnit(std::size_t num_qubits,
+                                           sim::StatGroup &parent)
+    : _latched(num_qubits, isa::PhysOpcode::Nop),
+      _stats("exec_unit"),
+      _latches(_stats.scalar("latches", "uops latched onto switches")),
+      _clocks(_stats.scalar("master_clocks", "master clock firings")),
+      _fired(_stats.scalar("fired_instructions",
+                           "non-NOP quantum instructions executed"))
+{
+    QUEST_ASSERT(num_qubits > 0, "execution unit needs qubits");
+    parent.addChild(_stats);
+}
+
+void
+QuantumExecutionUnit::latch(std::size_t q, isa::PhysOpcode op)
+{
+    QUEST_ASSERT(q < _latched.size(),
+                 "latch target %zu beyond switch array size %zu",
+                 q, _latched.size());
+    _latched[q] = op;
+    ++_latches;
+}
+
+const std::vector<isa::PhysOpcode> &
+QuantumExecutionUnit::masterClock()
+{
+    ++_clocks;
+    for (isa::PhysOpcode op : _latched)
+        if (op != isa::PhysOpcode::Nop)
+            ++_fired;
+    return _latched;
+}
+
+} // namespace quest::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Software-managed logical instruction cache (Section 5.3).
+ *
+ * QuEST decouples QECC from logical instruction delivery, which
+ * makes non-deterministic latency acceptable for logical
+ * instructions -- so they can be cached. Magic-state distillation
+ * streams are recursive with deterministic control flow and bodies
+ * of 100-200 instructions, so each MCE's instruction buffer doubles
+ * as a software-managed cache keyed by block id: the master
+ * controller sends a block once and afterwards replays it with a
+ * single token instead of re-streaming the body, cutting the global
+ * logical bandwidth by roughly the distillation ratio (three orders
+ * of magnitude across the paper's workloads).
+ */
+
+#ifndef QUEST_CORE_ICACHE_HPP
+#define QUEST_CORE_ICACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "isa/trace.hpp"
+#include "sim/stats.hpp"
+
+namespace quest::core {
+
+/** Result of one cache access. */
+struct ICacheAccess
+{
+    bool hit = false;
+    std::size_t bytesFetched = 0;  ///< global-bus bytes this access
+    std::size_t instructions = 0;  ///< instructions issued locally
+};
+
+/** Per-MCE software-managed logical instruction cache. */
+class LogicalInstructionCache
+{
+  public:
+    /**
+     * @param capacity_instructions Total instructions the buffer can
+     *        hold (0 disables caching: every access streams).
+     */
+    LogicalInstructionCache(std::size_t capacity_instructions,
+                            sim::StatGroup &parent);
+
+    std::size_t capacity() const { return _capacity; }
+    bool enabled() const { return _capacity > 0; }
+
+    /**
+     * Execute a block through the cache. On a miss the block body is
+     * charged to the global bus and installed (evicting
+     * least-recently-used blocks as needed); on a hit only a 2-byte
+     * replay token crosses the bus.
+     */
+    ICacheAccess execute(std::uint32_t block_id,
+                         const isa::LogicalTrace &body);
+
+    /** Instructions currently resident. */
+    std::size_t residentInstructions() const { return _resident; }
+
+    double hits() const { return _hits.value(); }
+    double misses() const { return _misses.value(); }
+    double busBytes() const { return _busBytes.value(); }
+
+  private:
+    std::size_t _capacity;
+    std::size_t _resident = 0;
+
+    /** LRU order: front == most recent. Values: block sizes. */
+    std::list<std::pair<std::uint32_t, std::size_t>> _lru;
+    std::unordered_map<std::uint32_t, decltype(_lru)::iterator> _index;
+
+    sim::StatGroup _stats;
+    sim::Scalar &_hits;
+    sim::Scalar &_misses;
+    sim::Scalar &_busBytes;
+
+    void touch(std::uint32_t block_id);
+    void evictUntilFits(std::size_t need);
+};
+
+/** Bytes of the replay token the master sends on a cache hit. */
+inline constexpr std::size_t replayTokenBytes = 2;
+
+} // namespace quest::core
+
+#endif // QUEST_CORE_ICACHE_HPP

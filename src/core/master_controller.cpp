@@ -1,0 +1,203 @@
+#include "master_controller.hpp"
+
+#include "sim/logging.hpp"
+#include "tech/parameters.hpp"
+
+namespace quest::core {
+
+namespace {
+
+NetworkConfig
+networkConfigFor(const MasterConfig &cfg)
+{
+    NetworkConfig net = cfg.network;
+    net.mceCount = cfg.numMces;
+    return net;
+}
+
+} // namespace
+
+MasterController::MasterController(const MasterConfig &cfg)
+    : _cfg(cfg),
+      _stats("master"),
+      _network(networkConfigFor(cfg), _stats),
+      _bytesLogical(_stats.scalar(
+          "bus_bytes_logical", "logical instruction packets (bytes)")),
+      _bytesSync(_stats.scalar("bus_bytes_sync",
+                               "synchronization tokens (bytes)")),
+      _bytesSyndrome(_stats.scalar(
+          "bus_bytes_syndrome", "residual syndrome uploads (bytes)")),
+      _bytesCorrections(_stats.scalar(
+          "bus_bytes_corrections", "correction downloads (bytes)")),
+      _bytesCache(_stats.scalar(
+          "bus_bytes_cache",
+          "distillation block fills and replay tokens (bytes)"))
+{
+    QUEST_ASSERT(cfg.numMces > 0, "need at least one MCE");
+    for (std::size_t i = 0; i < cfg.numMces; ++i) {
+        MceConfig mc = cfg.mce;
+        mc.seed = cfg.mce.seed + i * 0x9E37u;
+        _mces.push_back(std::make_unique<Mce>(
+            "mce" + std::to_string(i), mc));
+        _stats.addChild(_mces.back()->stats());
+    }
+    for (const auto &m : _mces) {
+        _decoders.emplace_back(m->lattice());
+        _clusterDecoders.emplace_back(m->lattice());
+    }
+    // Defect awareness: masked regions are open boundaries for the
+    // global decoder.
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        Mce *mce = _mces[i].get();
+        auto predicate = [mce](std::size_t q) {
+            return mce->maskTable().masked(q);
+        };
+        _decoders[i].setMaskPredicate(predicate);
+        _clusterDecoders[i].setMaskPredicate(predicate);
+    }
+}
+
+std::size_t
+MasterController::decodeWindow() const
+{
+    return _cfg.decodeWindowRounds ? _cfg.decodeWindowRounds
+                                   : _cfg.mce.distance;
+}
+
+void
+MasterController::dispatch(const isa::LogicalInstr &instr)
+{
+    const std::size_t target = instr.operand % _mces.size();
+    isa::LogicalInstr local = instr;
+    local.operand = std::uint16_t(instr.operand / _mces.size());
+    if (instr.opcode == isa::LogicalOpcode::SyncToken) {
+        _bytesSync += double(tech::logicalInstrBytes);
+        _network.send(target, tech::logicalInstrBytes);
+        return;
+    }
+    _bytesLogical += double(tech::logicalInstrBytes);
+    _network.send(target, tech::logicalInstrBytes);
+    _mces[target]->executeLogical(local);
+}
+
+void
+MasterController::dispatchTrace(const isa::LogicalTrace &trace)
+{
+    for (const auto &instr : trace)
+        dispatch(instr);
+}
+
+ICacheAccess
+MasterController::dispatchBlock(std::size_t mce_idx,
+                                std::uint32_t block_id,
+                                const isa::LogicalTrace &body)
+{
+    const ICacheAccess access =
+        _mces.at(mce_idx)->executeBlock(block_id, body);
+    _bytesCache += double(access.bytesFetched);
+    _network.send(mce_idx, access.bytesFetched);
+    return access;
+}
+
+void
+MasterController::broadcastSync()
+{
+    _bytesSync += double(_mces.size() * tech::logicalInstrBytes);
+    for (std::size_t i = 0; i < _mces.size(); ++i)
+        _network.send(i, tech::logicalInstrBytes);
+}
+
+int
+MasterController::transferLogicalQubit(std::size_t src_mce,
+                                       int src_id,
+                                       std::size_t dst_mce,
+                                       qecc::Coord dst_anchor)
+{
+    QUEST_ASSERT(src_mce < _mces.size() && dst_mce < _mces.size(),
+                 "transfer between unknown MCEs %zu -> %zu",
+                 src_mce, dst_mce);
+    QUEST_ASSERT(src_mce != dst_mce,
+                 "intra-MCE moves use mask instructions, not "
+                 "transfers");
+
+    // Destination defects first: the channel needs both endpoints.
+    const int dst_id = _mces[dst_mce]->defineLogicalQubit(dst_anchor);
+
+    // Channel setup + Bell measurement + Pauli fix-up commands to
+    // both endpoints (4 logical packets), plus a sync token each.
+    constexpr std::size_t transfer_packets = 4;
+    for (std::size_t ep : { src_mce, dst_mce }) {
+        const std::size_t bytes =
+            transfer_packets * tech::logicalInstrBytes;
+        _bytesLogical += double(bytes);
+        _network.send(ep, bytes);
+        _bytesSync += double(tech::logicalInstrBytes);
+        _network.send(ep, tech::logicalInstrBytes);
+    }
+
+    // One code distance of rounds completes the fault-tolerant
+    // hand-off; every tile keeps error-correcting meanwhile.
+    runRounds(_cfg.mce.distance);
+
+    _mces[src_mce]->releaseLogicalQubit(src_id);
+    return dst_id;
+}
+
+void
+MasterController::stepRound()
+{
+    for (auto &m : _mces)
+        m->runQeccRound();
+    ++_roundsRun;
+    ++_roundsSinceDecode;
+    if (_roundsSinceDecode >= decodeWindow())
+        decodeNow();
+}
+
+void
+MasterController::decodeNow()
+{
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        const decode::DetectionEvents residual =
+            _mces[i]->collectResidualEvents();
+        _bytesSyndrome += double(residual.total()
+                                 * decode::detectionEventBytes);
+        if (residual.total() == 0)
+            continue;
+        _network.send(i, residual.total()
+                             * decode::detectionEventBytes);
+        const decode::Correction corr =
+            _cfg.globalDecoder == GlobalDecoderKind::Mwpm
+                ? _decoders[i].decode(residual)
+                : _clusterDecoders[i].decode(residual);
+        _bytesCorrections += double(corr.weight()
+                                    * correctionEntryBytes);
+        if (corr.weight() > 0)
+            _network.send(i, corr.weight() * correctionEntryBytes);
+        _mces[i]->applyCorrection(corr);
+    }
+    _roundsSinceDecode = 0;
+}
+
+double
+MasterController::totalBusBytes() const
+{
+    return _bytesLogical.value() + _bytesSync.value()
+        + _bytesSyndrome.value() + _bytesCorrections.value()
+        + _bytesCache.value();
+}
+
+double
+MasterController::baselineEquivalentBytes() const
+{
+    double bytes = 0.0;
+    for (const auto &m : _mces) {
+        const auto &spec = qecc::protocolSpec(m->config().protocol);
+        bytes += double(m->roundsRun()) * double(spec.depth())
+            * double(m->lattice().numQubits())
+            * double(tech::physicalInstrBytes);
+    }
+    return bytes;
+}
+
+} // namespace quest::core

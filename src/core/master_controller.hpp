@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Master controller (Section 4.2, Figure 7).
+ *
+ * The master controller sits in the 77 K CMOS domain and
+ * orchestrates all logical operations: it dispatches 2-byte logical
+ * instructions to the owning MCE over the packet-switched global
+ * bus, collects residual detection events from the MCEs' local
+ * decoders, runs the global MWPM decode, and returns corrections.
+ * Everything crossing the global bus is accounted by category so
+ * the system model can reproduce the paper's bandwidth comparison.
+ */
+
+#ifndef QUEST_CORE_MASTER_CONTROLLER_HPP
+#define QUEST_CORE_MASTER_CONTROLLER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "decode/cluster_decoder.hpp"
+#include "decode/mwpm_decoder.hpp"
+#include "mce.hpp"
+#include "network.hpp"
+
+namespace quest::core {
+
+/** Which algorithm the master's global decoder runs. */
+enum class GlobalDecoderKind
+{
+    Mwpm,    ///< exact/greedy minimum-weight matching
+    Cluster, ///< union-find cluster decoder (real-time oriented)
+};
+
+/** Configuration of the whole control processor. */
+struct MasterConfig
+{
+    std::size_t numMces = 4;
+    MceConfig mce;
+    GlobalDecoderKind globalDecoder = GlobalDecoderKind::Mwpm;
+    /** QECC rounds between global decodes; 0 means one code
+     *  distance's worth (the standard decode cadence). */
+    std::size_t decodeWindowRounds = 0;
+
+    /** Global interconnect parameters (mceCount is overridden to
+     *  numMces at construction). */
+    NetworkConfig network;
+};
+
+/** Bytes on the bus per forwarded correction entry. */
+inline constexpr std::size_t correctionEntryBytes = 4;
+
+/** The 77 K master controller plus its array of MCEs. */
+class MasterController
+{
+  public:
+    explicit MasterController(const MasterConfig &cfg);
+
+    std::size_t numMces() const { return _mces.size(); }
+    Mce &mce(std::size_t i) { return *_mces.at(i); }
+    const Mce &mce(std::size_t i) const { return *_mces.at(i); }
+
+    /**
+     * Dispatch one logical instruction. The operand's low bits
+     * select the MCE (operand % numMces); the remaining bits are the
+     * MCE-local logical qubit id. Charges one 2-byte packet to the
+     * global bus.
+     */
+    void dispatch(const isa::LogicalInstr &instr);
+
+    /** Dispatch a whole trace instruction by instruction. */
+    void dispatchTrace(const isa::LogicalTrace &trace);
+
+    /**
+     * Dispatch a distillation block to an MCE through its icache;
+     * only the miss traffic (or a replay token) crosses the bus.
+     */
+    ICacheAccess dispatchBlock(std::size_t mce_idx,
+                               std::uint32_t block_id,
+                               const isa::LogicalTrace &body);
+
+    /** Send one synchronization token to every MCE. */
+    void broadcastSync();
+
+    /**
+     * Move a logical qubit from one MCE tile to another -- the
+     * cross-MCE operation the paper leaves unevaluated (footnote 9),
+     * modelled here as a teleportation-based transfer: the master
+     * sends the channel-setup and measurement instructions to both
+     * tiles (four 2-byte packets plus a sync token each), the
+     * destination allocates fresh defects, both tiles run one code
+     * distance of QECC rounds to complete the fault-tolerant hand-
+     * off, and the source defects are retired.
+     *
+     * @return the logical qubit's id on the destination MCE.
+     */
+    int transferLogicalQubit(std::size_t src_mce, int src_id,
+                             std::size_t dst_mce,
+                             qecc::Coord dst_anchor);
+
+    /**
+     * Advance every MCE one QECC round; after each decode window,
+     * collect residual events, decode globally and send corrections.
+     */
+    void stepRound();
+
+    /** Run n rounds. */
+    void
+    runRounds(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            stepRound();
+    }
+
+    /** Force a global decode immediately. */
+    void decodeNow();
+
+    /** @name Global bus accounting (bytes). */
+    ///@{
+    double busBytesLogical() const { return _bytesLogical.value(); }
+    double busBytesSync() const { return _bytesSync.value(); }
+    double busBytesSyndrome() const { return _bytesSyndrome.value(); }
+    double busBytesCorrections() const
+    {
+        return _bytesCorrections.value();
+    }
+    double busBytesCacheTraffic() const
+    {
+        return _bytesCache.value();
+    }
+    double totalBusBytes() const;
+    ///@}
+
+    /**
+     * Bytes the baseline software-managed design would have
+     * streamed for the rounds executed so far: one byte-sized
+     * instruction per qubit per sub-cycle (Section 3.3).
+     */
+    double baselineEquivalentBytes() const;
+
+    std::size_t roundsRun() const { return _roundsRun; }
+
+    /** The packet-switched interconnect carrying all bus traffic. */
+    PacketNetwork &network() { return _network; }
+
+    sim::StatGroup &stats() { return _stats; }
+
+  private:
+    MasterConfig _cfg;
+    std::vector<std::unique_ptr<Mce>> _mces;
+    std::vector<decode::MwpmDecoder> _decoders;
+    std::vector<decode::ClusterDecoder> _clusterDecoders;
+
+    std::size_t _roundsRun = 0;
+    std::size_t _roundsSinceDecode = 0;
+
+    sim::StatGroup _stats;
+    PacketNetwork _network;
+    sim::Scalar &_bytesLogical;
+    sim::Scalar &_bytesSync;
+    sim::Scalar &_bytesSyndrome;
+    sim::Scalar &_bytesCorrections;
+    sim::Scalar &_bytesCache;
+
+    std::size_t decodeWindow() const;
+};
+
+} // namespace quest::core
+
+#endif // QUEST_CORE_MASTER_CONTROLLER_HPP

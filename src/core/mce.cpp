@@ -1,0 +1,363 @@
+#include "mce.hpp"
+
+#include "qecc/braiding.hpp"
+#include "qecc/schedule.hpp"
+#include "sim/logging.hpp"
+
+namespace quest::core {
+
+using isa::LogicalInstr;
+using isa::LogicalOpcode;
+using isa::PhysOpcode;
+using qecc::Coord;
+using qecc::LogicalQubit;
+using qecc::RoundSchedule;
+using qecc::SubCycle;
+
+Mce::Mce(std::string name, const MceConfig &cfg)
+    : _name(std::move(name)), _cfg(cfg),
+      _lattice(std::make_unique<qecc::Lattice>(
+          cfg.latticeRows ? cfg.latticeRows : 2 * cfg.distance - 1,
+          cfg.latticeCols ? cfg.latticeCols : 2 * cfg.distance - 1)),
+      _rng(cfg.seed),
+      _frame(_lattice->numQubits()),
+      _ledger(_lattice->numQubits()),
+      _channel(cfg.errorRates, _rng),
+      _stats(_name),
+      _mask(*_lattice, cfg.maskLayout, cfg.distance, _stats),
+      _execUnit(_lattice->numQubits(), _stats),
+      _icache(cfg.icacheCapacity, _stats),
+      _lutDecoder(*_lattice),
+      _microcodeBits(_stats.scalar(
+          "microcode_bits",
+          "bits streamed out of the local microcode memory")),
+      _qeccUops(_stats.scalar("qecc_uops",
+                              "QECC uops issued to the exec unit")),
+      _logicalUops(_stats.scalar(
+          "logical_uops", "logical (transverse) uops issued")),
+      _eventsLocal(_stats.scalar(
+          "events_local", "detection events resolved by the LUT")),
+      _roundsStat(_stats.scalar("qecc_rounds", "QECC rounds executed"))
+{
+    const auto &spec = qecc::protocolSpec(cfg.protocol);
+    _baseSchedule = std::make_unique<RoundSchedule>(
+        qecc::buildRoundSchedule(*_lattice, spec));
+    rebuildMaskedSchedule();
+}
+
+void
+Mce::rebuildMaskedSchedule()
+{
+    // Copy the base program and blank every uop addressed to a
+    // masked qubit: syndrome generation is suppressed there and the
+    // slot is available to the logical-uop path instead.
+    auto masked = std::make_unique<RoundSchedule>(
+        *_lattice, _baseSchedule->spec());
+    for (std::size_t s = 0; s < _baseSchedule->depth(); ++s) {
+        SubCycle sc = _baseSchedule->subCycle(s);
+        for (std::size_t q = 0; q < sc.uops.size(); ++q)
+            if (_mask.masked(q))
+                sc.uops[q] = PhysOpcode::Nop;
+        masked->addSubCycle(std::move(sc));
+    }
+    _maskedSchedule = std::move(masked);
+    _extractor = std::make_unique<qecc::SyndromeExtractor>(
+        *_maskedSchedule);
+}
+
+void
+Mce::rebuildMask()
+{
+    _mask.clear();
+    for (const auto &[id, lq] : _logical)
+        _mask.apply(lq, true);
+    rebuildMaskedSchedule();
+}
+
+int
+Mce::defineLogicalQubit(Coord anchor)
+{
+    LogicalQubit lq(*_lattice, anchor, _cfg.distance);
+    QUEST_ASSERT(lq.fits(),
+                 "logical qubit at (%d,%d) does not fit the %zux%zu tile",
+                 anchor.row, anchor.col, _lattice->rows(),
+                 _lattice->cols());
+    const int id = _nextLogicalId++;
+    _logical.emplace(id, lq);
+    rebuildMask();
+    return id;
+}
+
+void
+Mce::releaseLogicalQubit(int id)
+{
+    auto it = _logical.find(id);
+    QUEST_ASSERT(it != _logical.end(), "unknown logical qubit %d", id);
+    _logical.erase(it);
+    rebuildMask();
+}
+
+void
+Mce::applyTransverse(LogicalOpcode op, const LogicalQubit &lq)
+{
+    for (std::size_t q : lq.footprint()) {
+        if (!_lattice->isData(_lattice->coord(q)))
+            continue;
+        switch (op) {
+          case LogicalOpcode::PrepZ:
+          case LogicalOpcode::PrepX:
+            _frame.reset(q);
+            if (_cfg.errorRates.prep > 0.0)
+                _channel.afterPrep(_frame, q);
+            break;
+          case LogicalOpcode::Hadamard:
+            _frame.h(q);
+            break;
+          case LogicalOpcode::Phase:
+            _frame.s(q);
+            break;
+          case LogicalOpcode::X:
+          case LogicalOpcode::Z:
+          case LogicalOpcode::MeasZ:
+          case LogicalOpcode::MeasX:
+            // Pauli gates commute through the error frame, and
+            // measurement reads it; neither changes the frame.
+            break;
+          default:
+            sim::panic("opcode %s is not transverse",
+                       isa::logicalOpcodeName(op).c_str());
+        }
+        _execUnit.latch(q, PhysOpcode::Nop);
+        ++_logicalUops;
+    }
+}
+
+void
+Mce::executeLogical(const LogicalInstr &instr)
+{
+    if (instr.opcode == LogicalOpcode::Nop
+        || instr.opcode == LogicalOpcode::SyncToken)
+        return;
+
+    if (isa::isTransverse(instr.opcode)) {
+        auto it = _logical.find(int(instr.operand));
+        QUEST_ASSERT(it != _logical.end(),
+                     "logical instruction targets unknown qubit L%u",
+                     instr.operand);
+        applyTransverse(instr.opcode, it->second);
+        return;
+    }
+
+    if (isa::isMaskInstruction(instr.opcode)) {
+        auto it = _logical.find(int(instr.operand));
+        QUEST_ASSERT(it != _logical.end(),
+                     "mask instruction targets unknown qubit L%u",
+                     instr.operand);
+        LogicalQubit &lq = it->second;
+        // Reshape a trial copy first; an instruction that would push
+        // the defect off the tile (or annihilate it) is dropped with
+        // a warning rather than corrupting the mask.
+        LogicalQubit trial = lq;
+        switch (instr.opcode) {
+          case LogicalOpcode::MaskExpand:
+          case LogicalOpcode::Braid:
+            trial.expandA(1);
+            break;
+          case LogicalOpcode::MaskContract:
+            if (trial.defectA().size <= 2) {
+                sim::warn("dropping %s: defect A too small",
+                          instr.toString().c_str());
+                return;
+            }
+            trial.contractA(1);
+            break;
+          case LogicalOpcode::MaskMove:
+            trial.move(0, 2);
+            break;
+          default:
+            sim::panic("unhandled mask opcode");
+        }
+        if (!trial.fits()) {
+            sim::warn("dropping %s: footprint leaves the tile",
+                      instr.toString().c_str());
+            return;
+        }
+        lq = trial;
+        rebuildMask();
+        return;
+    }
+
+    if (instr.opcode == LogicalOpcode::T
+        || instr.opcode == LogicalOpcode::Cnot) {
+        // T consumes a distilled magic state; CNOT is a braiding
+        // sequence. Both are multi-step macro-operations whose
+        // instruction-delivery cost is what this model accounts:
+        // charge one logical uop per footprint qubit.
+        auto it = _logical.find(int(instr.operand));
+        QUEST_ASSERT(it != _logical.end(),
+                     "instruction targets unknown logical qubit L%u",
+                     instr.operand);
+        _logicalUops += double(it->second.footprint().size());
+        return;
+    }
+
+    sim::panic("unhandled logical opcode %s",
+               isa::logicalOpcodeName(instr.opcode).c_str());
+}
+
+ICacheAccess
+Mce::executeBlock(std::uint32_t block_id, const isa::LogicalTrace &body)
+{
+    const ICacheAccess access = _icache.execute(block_id, body);
+    // Whether hit or miss, the block executes locally. The block
+    // bodies operate on factory qubits modelled outside this tile,
+    // so only delivery is accounted here.
+    _logicalUops += double(body.size());
+    return access;
+}
+
+std::size_t
+Mce::braidCnot(int control_id, int target_id)
+{
+    auto cit = _logical.find(control_id);
+    auto tit = _logical.find(target_id);
+    QUEST_ASSERT(cit != _logical.end() && tit != _logical.end(),
+                 "braid between unknown logical qubits %d, %d",
+                 control_id, target_id);
+    QUEST_ASSERT(control_id != target_id,
+                 "braid needs two distinct logical qubits");
+    LogicalQubit &control = cit->second;
+    LogicalQubit &target = tit->second;
+
+    // Thread the channel between the target's defects: contract the
+    // moving defect so (size + clearance) fits the d-column gap.
+    const qecc::MaskSquare original = control.defectA();
+    const std::size_t gap = _cfg.distance; // defect separation - size
+    const std::size_t moving_size =
+        std::min(original.size, gap > 2 ? gap - 2 : 1);
+
+    const qecc::BraidPlanner planner(*_lattice);
+    const qecc::MaskSquare moving{original.topLeft, moving_size};
+    const qecc::BraidPlan plan =
+        planner.planLoop(moving, target.defectA());
+
+    // Everything the loop must steer clear of: the stationary
+    // defects of both qubits (it circles target A at clearance 1).
+    std::vector<qecc::MaskSquare> obstacles{ control.defectB(),
+                                             target.defectB() };
+    for (const auto &[id, lq] : _logical) {
+        if (id == control_id || id == target_id)
+            continue;
+        obstacles.push_back(lq.defectA());
+        obstacles.push_back(lq.defectB());
+    }
+    if (!planner.validate(plan, moving_size, obstacles)) {
+        sim::warn("dropping braid CNOT L%d->L%d: no valid loop on "
+                  "this tile", control_id, target_id);
+        return 0;
+    }
+
+    // Execute: one mask update + d QECC rounds per step.
+    auto place = [&](const qecc::MaskSquare &square) {
+        control.setDefectA(square);
+        rebuildMask();
+    };
+    place(moving); // contract to travel size
+    for (std::size_t i = 1; i < plan.positions.size(); ++i) {
+        place(qecc::MaskSquare{plan.positions[i], moving_size});
+        for (std::size_t r = 0; r < _cfg.distance; ++r)
+            runQeccRound();
+    }
+    place(original); // restore the full-distance defect
+    return plan.steps();
+}
+
+const qecc::SyndromeRound &
+Mce::runQeccRound()
+{
+    const RoundSchedule &sched = *_maskedSchedule;
+    const std::size_t n = _lattice->numQubits();
+
+    // Microcode pipeline: stream one uop per qubit per sub-cycle
+    // through the latch array, then fire the master clock.
+    const MicrocodeModel model(sched.spec(), _cfg.technology);
+    const std::size_t uop_bits =
+        model.uopBits(_cfg.microcodeDesign, n);
+    for (std::size_t s = 0; s < sched.depth(); ++s) {
+        const SubCycle &sc = sched.subCycle(s);
+        for (std::size_t q = 0; q < n; ++q) {
+            _execUnit.latch(q, sc.uops[q]);
+            if (sc.uops[q] != PhysOpcode::Nop)
+                ++_qeccUops;
+        }
+        _microcodeBits += double(n * uop_bits);
+        _execUnit.masterClock();
+    }
+
+    // Functional effect: evolve the frame and read the syndromes.
+    _lastRound = _extractor->runRound(_frame, &_channel);
+    _window.push_back(_lastRound);
+    ++_roundsRun;
+    ++_roundsStat;
+    return _lastRound;
+}
+
+decode::DetectionEvents
+Mce::collectResidualEvents()
+{
+    const decode::DetectionEvents events =
+        decode::extractDetectionEventsWindow(
+            _window, *_extractor,
+            _windowBaseline ? &*_windowBaseline : nullptr,
+            _windowFirstRound);
+
+    decode::LocalDecodeResult local = _lutDecoder.decodeLocal(events);
+    decode::applyCorrection(_ledger, local.correction);
+    _eventsLocal += double(local.resolvedEvents);
+
+    if (!_window.empty()) {
+        _windowBaseline = _window.back();
+        _windowFirstRound = _roundsRun;
+        _window.clear();
+    }
+    return local.residual;
+}
+
+void
+Mce::applyCorrection(const decode::Correction &corr)
+{
+    decode::applyCorrection(_ledger, corr);
+}
+
+std::size_t
+Mce::residualErrorWeight() const
+{
+    // Only protected data qubits matter: ancillas are re-prepared
+    // every round, and a data qubit all of whose checks are masked
+    // has error correction deliberately disabled -- its errors are
+    // the logical qubit's business, not the decoder's.
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < _frame.numQubits(); ++q) {
+        const qecc::Coord c = _lattice->coord(q);
+        if (!_lattice->isData(c))
+            continue;
+        bool protected_qubit = false;
+        for (qecc::Direction dir : qecc::allDirections) {
+            const auto n = _lattice->neighbour(c, dir);
+            if (n && _lattice->isAncilla(*n)
+                && !_mask.masked(_lattice->index(*n))) {
+                protected_qubit = true;
+                break;
+            }
+        }
+        if (!protected_qubit)
+            continue;
+        const bool x = _frame.xError(q) != _ledger.xError(q);
+        const bool z = _frame.zError(q) != _ledger.zError(q);
+        if (x || z)
+            ++w;
+    }
+    return w;
+}
+
+} // namespace quest::core

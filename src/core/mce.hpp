@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Microcoded Control Engine (paper Section 4, Figures 7-8).
+ *
+ * An MCE owns a tiled subsection of the quantum substrate and is
+ * solely responsible for its QECC instruction delivery: the
+ * microcode pipeline replays the QECC-uop program every round with
+ * no master-controller involvement; the mask table suppresses
+ * syndrome generation where logical qubits live; the instruction
+ * pipeline decodes 2-byte logical instructions into transverse
+ * physical uops or mask updates; the error decoder pipeline runs the
+ * local LUT decode and forwards residual detection events upward.
+ *
+ * The MCE here is cycle-faithful at QECC-round granularity: every
+ * round streams one micro-op per qubit per sub-cycle through the
+ * execution unit's latch/master-clock model, evolves a Pauli frame
+ * under the configured noise, and records real syndromes.
+ */
+
+#ifndef QUEST_CORE_MCE_HPP
+#define QUEST_CORE_MCE_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "decode/detection.hpp"
+#include "decode/lut_decoder.hpp"
+#include "exec_unit.hpp"
+#include "icache.hpp"
+#include "isa/instructions.hpp"
+#include "isa/trace.hpp"
+#include "mask_table.hpp"
+#include "microcode.hpp"
+#include "qecc/extractor.hpp"
+#include "qecc/logical_mask.hpp"
+#include "quantum/error_model.hpp"
+#include "sim/stats.hpp"
+
+namespace quest::core {
+
+/** Configuration of one MCE tile. */
+struct MceConfig
+{
+    std::size_t distance = 3;  ///< code distance of the tile
+    /** Tile dimensions; 0 means the (2d-1)x(2d-1) default. */
+    std::size_t latticeRows = 0;
+    std::size_t latticeCols = 0;
+
+    qecc::Protocol protocol = qecc::Protocol::Steane;
+    tech::Technology technology = tech::Technology::ProjectedD;
+    MicrocodeDesign microcodeDesign = MicrocodeDesign::UnitCell;
+    tech::MemoryConfig memoryConfig{4, 1024};
+    MaskLayout maskLayout = MaskLayout::Full;
+
+    quantum::ErrorRates errorRates = quantum::ErrorRates::none();
+    std::size_t icacheCapacity = 1024; ///< instructions; 0 disables
+    std::uint64_t seed = 1;
+};
+
+/** One Microcoded Control Engine. */
+class Mce
+{
+  public:
+    Mce(std::string name, const MceConfig &cfg);
+
+    const std::string &name() const { return _name; }
+    const MceConfig &config() const { return _cfg; }
+    const qecc::Lattice &lattice() const { return *_lattice; }
+    quantum::PauliFrame &frame() { return _frame; }
+    LogicalInstructionCache &icache() { return _icache; }
+    MaskTable &maskTable() { return _mask; }
+    sim::StatGroup &stats() { return _stats; }
+
+    /** @name Logical qubit management (mask instructions). */
+    ///@{
+
+    /**
+     * Create a double-defect logical qubit anchored at `anchor`.
+     * @return the logical qubit id used by later instructions.
+     */
+    int defineLogicalQubit(qecc::Coord anchor);
+
+    /** Remove a logical qubit and re-enable QECC on its footprint. */
+    void releaseLogicalQubit(int id);
+
+    std::size_t logicalQubitCount() const { return _logical.size(); }
+    ///@}
+
+    /**
+     * Execute one 2-byte logical instruction (the instruction
+     * pipeline path, steps 4-6 of Figure 8a). Transverse
+     * instructions act across the operand logical qubit's footprint;
+     * mask instructions reshape its boundary.
+     */
+    void executeLogical(const isa::LogicalInstr &instr);
+
+    /** Run a block of logical instructions through the icache. */
+    ICacheAccess executeBlock(std::uint32_t block_id,
+                              const isa::LogicalTrace &body);
+
+    /**
+     * Execute a braided logical CNOT (Section 5.1, Figure 12c):
+     * drag the control qubit's defect A around the target qubit's
+     * defect A along a planned loop, one mask update plus d QECC
+     * rounds per step. The moving defect is temporarily contracted
+     * to thread the channel between the target's defects (a
+     * distance/routing trade the defect encoding permits).
+     *
+     * @return the number of braid steps executed, or 0 when no
+     *         valid loop exists on this tile (the instruction is
+     *         dropped with a warning, like any other infeasible
+     *         mask instruction).
+     */
+    std::size_t braidCnot(int control_id, int target_id);
+
+    /**
+     * Run one full QECC round: the microcode pipeline streams a uop
+     * per qubit per sub-cycle (QECC program or masked), the
+     * execution unit fires, the Pauli frame evolves under noise and
+     * the ancilla syndromes are recorded.
+     */
+    const qecc::SyndromeRound &runQeccRound();
+
+    /** Rounds executed so far. */
+    std::size_t roundsRun() const { return _roundsRun; }
+
+    /**
+     * Drain the accumulated syndrome window into detection events
+     * and run the local LUT decode. Locally-resolved corrections go
+     * into the correction ledger; the residual events are returned
+     * for the master controller's global decoder.
+     */
+    decode::DetectionEvents collectResidualEvents();
+
+    /**
+     * Record a global-decoder correction. Following the paper
+     * (Appendix A.2), corrections are not executed on the qubits:
+     * they accumulate in a classical Pauli ledger that is folded in
+     * when a qubit is finally measured. This keeps syndrome
+     * differencing consistent across decode windows.
+     */
+    void applyCorrection(const decode::Correction &corr);
+
+    /** The classical correction ledger. */
+    const quantum::PauliFrame &correctionLedger() const
+    {
+        return _ledger;
+    }
+
+    /**
+     * Residual error weight after folding the ledger into the live
+     * frame (0 means every tracked error has been cancelled).
+     */
+    std::size_t residualErrorWeight() const;
+
+    /** @name Accounting. */
+    ///@{
+    double microcodeBitsStreamed() const
+    {
+        return _microcodeBits.value();
+    }
+    double qeccUopsIssued() const { return _qeccUops.value(); }
+    double logicalUopsIssued() const { return _logicalUops.value(); }
+    double eventsResolvedLocally() const
+    {
+        return _eventsLocal.value();
+    }
+    ///@}
+
+  private:
+    std::string _name;
+    MceConfig _cfg;
+
+    std::unique_ptr<qecc::Lattice> _lattice;
+    std::unique_ptr<qecc::RoundSchedule> _baseSchedule;
+    std::unique_ptr<qecc::RoundSchedule> _maskedSchedule;
+    std::unique_ptr<qecc::SyndromeExtractor> _extractor;
+
+    sim::Rng _rng;
+    quantum::PauliFrame _frame;
+    quantum::PauliFrame _ledger; ///< decoded-but-unexecuted corrections
+    quantum::ErrorChannel _channel;
+
+    sim::StatGroup _stats;
+    MaskTable _mask;
+    QuantumExecutionUnit _execUnit;
+    LogicalInstructionCache _icache;
+    decode::LutDecoder _lutDecoder;
+
+    std::map<int, qecc::LogicalQubit> _logical;
+    int _nextLogicalId = 0;
+
+    std::size_t _roundsRun = 0;
+    std::vector<qecc::SyndromeRound> _window;
+    std::optional<qecc::SyndromeRound> _windowBaseline;
+    std::size_t _windowFirstRound = 0;
+    qecc::SyndromeRound _lastRound;
+
+    sim::Scalar &_microcodeBits;
+    sim::Scalar &_qeccUops;
+    sim::Scalar &_logicalUops;
+    sim::Scalar &_eventsLocal;
+    sim::Scalar &_roundsStat;
+
+    /** Rebuild the mask-filtered schedule after mask changes. */
+    void rebuildMaskedSchedule();
+
+    /**
+     * Recompute the mask table from every live logical qubit, then
+     * rebuild the schedule. Overlapping footprints (e.g. a braiding
+     * defect passing another qubit's perimeter) make incremental
+     * unmasking unsound, so all mask mutations funnel through here.
+     */
+    void rebuildMask();
+
+    /** Apply a transverse gate across a logical footprint. */
+    void applyTransverse(isa::LogicalOpcode op,
+                         const qecc::LogicalQubit &lq);
+};
+
+} // namespace quest::core
+
+#endif // QUEST_CORE_MCE_HPP

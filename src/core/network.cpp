@@ -1,0 +1,70 @@
+#include "network.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::core {
+
+PacketNetwork::PacketNetwork(const NetworkConfig &cfg,
+                             sim::StatGroup &parent)
+    : _cfg(cfg),
+      _stats("network"),
+      _bytes(_stats.scalar("bytes", "bytes carried by the network")),
+      _packets(_stats.scalar("packets", "packets delivered")),
+      _latencyTotal(_stats.scalar("latency_ticks",
+                                  "sum of packet latencies")),
+      _latencyHist(_stats.histogram("latency", "packet latency (ps)",
+                                    0, 1e6, 32))
+{
+    QUEST_ASSERT(cfg.mceCount > 0, "network needs at least one MCE");
+    QUEST_ASSERT(cfg.radix >= 2, "tree radix must be at least 2");
+    QUEST_ASSERT(cfg.linkBytesPerTick > 0, "links need bandwidth");
+
+    // Depth of the radix-k tree covering all leaves.
+    _depth = 1;
+    std::size_t reach = cfg.radix;
+    while (reach < cfg.mceCount) {
+        reach *= cfg.radix;
+        ++_depth;
+    }
+    parent.addChild(_stats);
+}
+
+std::size_t
+PacketNetwork::hopsToMce(std::size_t mce_index) const
+{
+    QUEST_ASSERT(mce_index < _cfg.mceCount,
+                 "MCE index %zu out of range", mce_index);
+    // Balanced tree: every leaf is `depth` router hops from the
+    // root plus the injection/ejection links.
+    return _depth + 1;
+}
+
+PacketTiming
+PacketNetwork::send(std::size_t mce_index, std::size_t bytes)
+{
+    QUEST_ASSERT(bytes > 0, "empty packet");
+    PacketTiming timing;
+    timing.hops = hopsToMce(mce_index);
+
+    const auto serialization = sim::Tick(
+        std::ceil(double(bytes) / _cfg.linkBytesPerTick));
+    timing.latency =
+        sim::Tick(timing.hops) * _cfg.hopLatency + serialization;
+
+    _bytes += double(bytes);
+    ++_packets;
+    _latencyTotal += double(timing.latency);
+    _latencyHist.sample(double(timing.latency));
+    return timing;
+}
+
+double
+PacketNetwork::meanLatencyTicks() const
+{
+    const double packets = _packets.value();
+    return packets > 0 ? _latencyTotal.value() / packets : 0.0;
+}
+
+} // namespace quest::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Packet-switched global interconnect (Section 4.2: "The master
+ * controller delivers logical instructions to MCE using a packet
+ * switched network", Figure 7's global data and instruction bus).
+ *
+ * The network connects the 77 K master controller (node 0) to the
+ * MCE array at 4 K. Topology is a balanced tree of configurable
+ * radix (point-to-point wiring across thermal stages is the scarce
+ * resource, so a tree matches the physical wiring plan). The model
+ * is analytical per packet -- hop latency plus serialization --
+ * with per-link byte accounting so utilization and the bisection
+ * load can be reported. Because QuEST needs only logical-rate
+ * traffic here, the interesting output is how *little* of the
+ * network this uses; the same model pointed at the baseline's
+ * physical-rate stream shows the wiring that QuEST avoids.
+ */
+
+#ifndef QUEST_CORE_NETWORK_HPP
+#define QUEST_CORE_NETWORK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace quest::core {
+
+/** Interconnect configuration. */
+struct NetworkConfig
+{
+    std::size_t mceCount = 4;
+    std::size_t radix = 4;          ///< tree fan-out per router
+    sim::Tick hopLatency = sim::nanoseconds(5);
+    double linkBytesPerTick = 0.004; ///< 4 GB/s links (bytes per ps)
+};
+
+/** One delivered packet's timing. */
+struct PacketTiming
+{
+    std::size_t hops = 0;
+    sim::Tick latency = 0;
+};
+
+/** Analytical packet-switched tree network. */
+class PacketNetwork
+{
+  public:
+    PacketNetwork(const NetworkConfig &cfg, sim::StatGroup &parent);
+
+    const NetworkConfig &config() const { return _cfg; }
+
+    /** Tree depth from the master to any MCE leaf. */
+    std::size_t depth() const { return _depth; }
+
+    /** Hops between the master (node 0) and an MCE leaf. */
+    std::size_t hopsToMce(std::size_t mce_index) const;
+
+    /**
+     * Account one packet from the master to an MCE (or back).
+     * @return hop count and end-to-end latency.
+     */
+    PacketTiming send(std::size_t mce_index, std::size_t bytes);
+
+    /** Total bytes accepted by the network. */
+    double bytesCarried() const { return _bytes.value(); }
+    double packetsCarried() const { return _packets.value(); }
+
+    /** Mean packet latency in ticks. */
+    double meanLatencyTicks() const;
+
+    /**
+     * Offered load on the master's root link as a fraction of its
+     * capacity, over the observed interval.
+     * @param interval Ticks the traffic was spread over.
+     */
+    double
+    rootLinkUtilization(sim::Tick interval) const
+    {
+        if (interval == 0)
+            return 0.0;
+        const double capacity =
+            _cfg.linkBytesPerTick * double(interval);
+        return _bytes.value() / capacity;
+    }
+
+  private:
+    NetworkConfig _cfg;
+    std::size_t _depth;
+
+    sim::StatGroup _stats;
+    sim::Scalar &_bytes;
+    sim::Scalar &_packets;
+    sim::Scalar &_latencyTotal;
+    sim::Histogram &_latencyHist;
+};
+
+} // namespace quest::core
+
+#endif // QUEST_CORE_NETWORK_HPP

@@ -1,0 +1,79 @@
+#include "detection.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace quest::decode {
+
+using qecc::Coord;
+using qecc::SiteType;
+
+DetectionEvents
+extractDetectionEvents(const std::vector<qecc::SyndromeRound> &history,
+                       const qecc::SyndromeExtractor &extractor)
+{
+    return extractDetectionEventsWindow(history, extractor, nullptr, 0);
+}
+
+DetectionEvents
+extractDetectionEventsWindow(
+    const std::vector<qecc::SyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor,
+    const qecc::SyndromeRound *baseline, std::size_t first_round)
+{
+    DetectionEvents out;
+    const auto &x_anc = extractor.xAncillas();
+    const auto &z_anc = extractor.zAncillas();
+
+    for (std::size_t r = 0; r < history.size(); ++r) {
+        const auto &round = history[r];
+        QUEST_ASSERT(round.xFlips.size() == x_anc.size()
+                     && round.zFlips.size() == z_anc.size(),
+                     "syndrome round %zu has inconsistent width", r);
+        const qecc::SyndromeRound *prev =
+            r == 0 ? baseline : &history[r - 1];
+        for (std::size_t i = 0; i < x_anc.size(); ++i) {
+            const std::uint8_t p = prev ? prev->xFlips[i] : 0;
+            if (round.xFlips[i] != p)
+                out.xEvents.push_back(DetectionEvent{
+                    first_round + r, x_anc[i], SiteType::XAncilla});
+        }
+        for (std::size_t i = 0; i < z_anc.size(); ++i) {
+            const std::uint8_t p = prev ? prev->zFlips[i] : 0;
+            if (round.zFlips[i] != p)
+                out.zEvents.push_back(DetectionEvent{
+                    first_round + r, z_anc[i], SiteType::ZAncilla});
+        }
+    }
+    return out;
+}
+
+void
+Correction::merge(const Correction &other)
+{
+    // XOR semantics: a qubit flipped twice is not flipped.
+    auto xor_into = [](std::vector<std::size_t> &dst,
+                       const std::vector<std::size_t> &src) {
+        for (std::size_t q : src) {
+            auto it = std::find(dst.begin(), dst.end(), q);
+            if (it != dst.end())
+                dst.erase(it);
+            else
+                dst.push_back(q);
+        }
+    };
+    xor_into(xFlips, other.xFlips);
+    xor_into(zFlips, other.zFlips);
+}
+
+void
+applyCorrection(quantum::PauliFrame &frame, const Correction &corr)
+{
+    for (std::size_t q : corr.xFlips)
+        frame.injectX(q);
+    for (std::size_t q : corr.zFlips)
+        frame.injectZ(q);
+}
+
+} // namespace quest::decode

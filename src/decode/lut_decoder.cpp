@@ -1,0 +1,158 @@
+#include "lut_decoder.hpp"
+
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace quest::decode {
+
+using qecc::Coord;
+using qecc::SiteType;
+
+namespace {
+
+/** Check-grid Manhattan distance (data qubits crossed) in space. */
+std::uint64_t
+spatialDistance(const DetectionEvent &a, const DetectionEvent &b)
+{
+    const std::uint64_t dr = std::uint64_t(std::abs(a.ancilla.row
+                                                    - b.ancilla.row));
+    const std::uint64_t dc = std::uint64_t(std::abs(a.ancilla.col
+                                                    - b.ancilla.col));
+    return (dr + dc) / 2;
+}
+
+/** The single data qubit between two checks at spatial distance 1. */
+Coord
+sharedDataQubit(const DetectionEvent &a, const DetectionEvent &b)
+{
+    return Coord{(a.ancilla.row + b.ancilla.row) / 2,
+                 (a.ancilla.col + b.ancilla.col) / 2};
+}
+
+} // namespace
+
+void
+LutDecoder::decodeType(const std::vector<DetectionEvent> &events,
+                       std::vector<std::size_t> &flips,
+                       std::vector<DetectionEvent> &residual,
+                       std::size_t &resolved) const
+{
+    std::vector<std::uint8_t> consumed(events.size(), 0);
+
+    // Pass 1: same-round adjacent pairs (a single data error flips
+    // exactly the two checks it touches).
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (consumed[i])
+            continue;
+        int partner = -1;
+        std::size_t neighbours = 0;
+        for (std::size_t j = 0; j < events.size(); ++j) {
+            if (j == i || consumed[j])
+                continue;
+            if (events[j].round == events[i].round
+                && spatialDistance(events[i], events[j]) == 1) {
+                ++neighbours;
+                partner = int(j);
+            }
+        }
+        // Only act when the pairing is unambiguous.
+        if (neighbours == 1) {
+            std::size_t other_neighbours = 0;
+            const auto &e2 = events[std::size_t(partner)];
+            for (std::size_t j = 0; j < events.size(); ++j) {
+                if (int(j) == partner || consumed[j])
+                    continue;
+                if (events[j].round == e2.round
+                    && spatialDistance(e2, events[j]) == 1)
+                    ++other_neighbours;
+            }
+            if (other_neighbours == 1) {
+                const Coord data =
+                    sharedDataQubit(events[i], e2);
+                flips.push_back(_lattice->index(data));
+                consumed[i] = 1;
+                consumed[std::size_t(partner)] = 1;
+                resolved += 2;
+            }
+        }
+    }
+
+    // Pass 2: time-like pairs (measurement flips) -- same check,
+    // consecutive rounds. No data correction needed.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (consumed[i])
+            continue;
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            if (consumed[j])
+                continue;
+            if (events[j].ancilla == events[i].ancilla
+                && (events[j].round == events[i].round + 1
+                    || events[i].round == events[j].round + 1)) {
+                consumed[i] = 1;
+                consumed[j] = 1;
+                resolved += 2;
+                break;
+            }
+        }
+    }
+
+    // Pass 3: isolated boundary-adjacent events.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (consumed[i])
+            continue;
+        bool isolated = true;
+        for (std::size_t j = 0; j < events.size() && isolated; ++j) {
+            if (j == i || consumed[j])
+                continue;
+            if (spatialDistance(events[i], events[j]) <= 2)
+                isolated = false;
+        }
+        if (!isolated)
+            continue;
+
+        const Coord c = events[i].ancilla;
+        Coord data;
+        bool at_boundary = false;
+        if (events[i].type == SiteType::ZAncilla) {
+            if (c.row == 1) {
+                data = Coord{0, c.col};
+                at_boundary = true;
+            } else if (c.row == int(_lattice->rows()) - 2) {
+                data = Coord{c.row + 1, c.col};
+                at_boundary = true;
+            }
+        } else {
+            if (c.col == 1) {
+                data = Coord{c.row, 0};
+                at_boundary = true;
+            } else if (c.col == int(_lattice->cols()) - 2) {
+                data = Coord{c.row, c.col + 1};
+                at_boundary = true;
+            }
+        }
+        if (at_boundary) {
+            flips.push_back(_lattice->index(data));
+            consumed[i] = 1;
+            resolved += 1;
+        }
+    }
+
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (!consumed[i])
+            residual.push_back(events[i]);
+}
+
+LocalDecodeResult
+LutDecoder::decodeLocal(const DetectionEvents &events) const
+{
+    LocalDecodeResult out;
+    // Z-check events locate X errors; X-check events locate Z errors.
+    decodeType(events.zEvents, out.correction.xFlips,
+               out.residual.zEvents, out.resolvedEvents);
+    decodeType(events.xEvents, out.correction.zFlips,
+               out.residual.xEvents, out.resolvedEvents);
+    return out;
+}
+
+} // namespace quest::decode

@@ -1,0 +1,314 @@
+#include "mwpm_decoder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "sim/logging.hpp"
+
+namespace quest::decode {
+
+using qecc::Coord;
+using qecc::SiteType;
+
+std::uint64_t
+MwpmDecoder::distance(const DetectionEvent &a, const DetectionEvent &b) const
+{
+    QUEST_ASSERT(a.type == b.type,
+                 "cannot match events of different stabilizer types");
+    const std::uint64_t dr = std::uint64_t(std::abs(a.ancilla.row
+                                                    - b.ancilla.row));
+    const std::uint64_t dc = std::uint64_t(std::abs(a.ancilla.col
+                                                    - b.ancilla.col));
+    QUEST_ASSERT(dr % 2 == 0 && dc % 2 == 0,
+                 "same-type checks must differ by even steps");
+    const std::uint64_t dt = a.round > b.round
+        ? a.round - b.round : b.round - a.round;
+    return _spaceWeight * ((dr + dc) / 2) + _timeWeight * dt;
+}
+
+std::uint64_t
+MwpmDecoder::edgeDistance(const DetectionEvent &e) const
+{
+    const Coord c = e.ancilla;
+    if (e.type == SiteType::ZAncilla) {
+        // X-error chains terminate on the top/bottom data rows.
+        const std::uint64_t north = std::uint64_t(c.row + 1) / 2;
+        const std::uint64_t south =
+            std::uint64_t(int(_lattice->rows()) - c.row) / 2;
+        return std::min(north, south);
+    }
+    // Z-error chains terminate on the left/right data columns.
+    const std::uint64_t west = std::uint64_t(c.col + 1) / 2;
+    const std::uint64_t east =
+        std::uint64_t(int(_lattice->cols()) - c.col) / 2;
+    return std::min(west, east);
+}
+
+std::optional<std::pair<std::uint64_t, Coord>>
+MwpmDecoder::nearestMaskedCheck(const DetectionEvent &e) const
+{
+    if (!_masked)
+        return std::nullopt;
+    const SiteType type = e.type;
+    std::optional<std::pair<std::uint64_t, Coord>> best;
+    for (const Coord c : _lattice->sites(type)) {
+        if (!_masked(_lattice->index(c)))
+            continue;
+        const std::uint64_t dist =
+            (std::uint64_t(std::abs(c.row - e.ancilla.row))
+             + std::uint64_t(std::abs(c.col - e.ancilla.col))) / 2;
+        if (!best || dist < best->first)
+            best = std::make_pair(dist, c);
+    }
+    return best;
+}
+
+std::uint64_t
+MwpmDecoder::boundaryDistance(const DetectionEvent &e) const
+{
+    std::uint64_t dist = edgeDistance(e);
+    if (const auto masked = nearestMaskedCheck(e))
+        dist = std::min(dist, masked->first);
+    return _spaceWeight * dist;
+}
+
+std::vector<std::size_t>
+MwpmDecoder::pathBetween(Coord a, Coord b) const
+{
+    std::vector<std::size_t> path;
+    Coord cur = a;
+    // Walk rows first, collecting the data qubit between each pair
+    // of checks, then columns.
+    while (cur.row != b.row) {
+        const int step = cur.row < b.row ? 2 : -2;
+        path.push_back(_lattice->index(
+            Coord{cur.row + step / 2, cur.col}));
+        cur.row += step;
+    }
+    while (cur.col != b.col) {
+        const int step = cur.col < b.col ? 2 : -2;
+        path.push_back(_lattice->index(
+            Coord{cur.row, cur.col + step / 2}));
+        cur.col += step;
+    }
+    return path;
+}
+
+std::vector<std::size_t>
+MwpmDecoder::pathToBoundary(Coord a) const
+{
+    std::vector<std::size_t> path;
+    const SiteType type = _lattice->siteType(a);
+    QUEST_ASSERT(type != SiteType::Data, "boundary path from non-check");
+
+    // A masked (defect) region closer than the lattice edge is the
+    // terminating boundary: route the chain into it.
+    const DetectionEvent here{0, a, type};
+    if (const auto masked = nearestMaskedCheck(here)) {
+        if (masked->first < edgeDistance(here))
+            return pathBetween(a, masked->second);
+    }
+
+    if (type == SiteType::ZAncilla) {
+        const std::uint64_t north = std::uint64_t(a.row + 1) / 2;
+        const std::uint64_t south =
+            std::uint64_t(int(_lattice->rows()) - a.row) / 2;
+        const int step = north <= south ? -1 : 1;
+        int r = a.row;
+        while (r >= 0 && r < int(_lattice->rows())) {
+            const int data_row = r + step;
+            if (data_row < 0 || data_row >= int(_lattice->rows()))
+                break;
+            path.push_back(_lattice->index(Coord{data_row, a.col}));
+            r += 2 * step;
+        }
+    } else {
+        const std::uint64_t west = std::uint64_t(a.col + 1) / 2;
+        const std::uint64_t east =
+            std::uint64_t(int(_lattice->cols()) - a.col) / 2;
+        const int step = west <= east ? -1 : 1;
+        int c = a.col;
+        while (c >= 0 && c < int(_lattice->cols())) {
+            const int data_col = c + step;
+            if (data_col < 0 || data_col >= int(_lattice->cols()))
+                break;
+            path.push_back(_lattice->index(Coord{a.row, data_col}));
+            c += 2 * step;
+        }
+    }
+    return path;
+}
+
+MatchingResult
+MwpmDecoder::matchExact(const std::vector<DetectionEvent> &events) const
+{
+    const std::size_t n = events.size();
+    constexpr std::uint64_t inf = std::numeric_limits<std::uint64_t>::max();
+
+    // Precompute pair and boundary weights.
+    std::vector<std::uint64_t> bweight(n);
+    std::vector<std::vector<std::uint64_t>> pweight(
+        n, std::vector<std::uint64_t>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+        bweight[i] = boundaryDistance(events[i]);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            pweight[i][j] = distance(events[i], events[j]);
+            pweight[j][i] = pweight[i][j];
+        }
+    }
+
+    // f[mask] = min weight to resolve exactly the events in mask.
+    std::vector<std::uint64_t> f(std::size_t(1) << n, inf);
+    f[0] = 0;
+    for (std::size_t mask = 1; mask < f.size(); ++mask) {
+        std::size_t i = 0;
+        while (!(mask & (std::size_t(1) << i)))
+            ++i;
+        const std::size_t without_i = mask & ~(std::size_t(1) << i);
+
+        // Option 1: event i matches the boundary.
+        if (f[without_i] != inf)
+            f[mask] = f[without_i] + bweight[i];
+
+        // Option 2: event i pairs with some j in the mask.
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const std::size_t bit_j = std::size_t(1) << j;
+            if (!(mask & bit_j))
+                continue;
+            const std::size_t rest = without_i & ~bit_j;
+            if (f[rest] == inf)
+                continue;
+            const std::uint64_t cand = f[rest] + pweight[i][j];
+            if (cand < f[mask])
+                f[mask] = cand;
+        }
+    }
+
+    // Reconstruct the optimal decisions.
+    MatchingResult result;
+    result.totalWeight = f[f.size() - 1];
+    std::size_t mask = f.size() - 1;
+    while (mask) {
+        std::size_t i = 0;
+        while (!(mask & (std::size_t(1) << i)))
+            ++i;
+        const std::size_t without_i = mask & ~(std::size_t(1) << i);
+        if (f[without_i] != inf
+            && f[mask] == f[without_i] + bweight[i]) {
+            result.matches.push_back(Match{i, 0, true, bweight[i]});
+            mask = without_i;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t j = i + 1; j < n && !found; ++j) {
+            const std::size_t bit_j = std::size_t(1) << j;
+            if (!(mask & bit_j))
+                continue;
+            const std::size_t rest = without_i & ~bit_j;
+            if (f[rest] != inf && f[mask] == f[rest] + pweight[i][j]) {
+                result.matches.push_back(
+                    Match{i, j, false, pweight[i][j]});
+                mask = rest;
+                found = true;
+            }
+        }
+        QUEST_ASSERT(found, "matching reconstruction failed");
+    }
+    return result;
+}
+
+MatchingResult
+MwpmDecoder::matchGreedy(const std::vector<DetectionEvent> &events) const
+{
+    const std::size_t n = events.size();
+    struct Edge
+    {
+        std::uint64_t weight;
+        std::size_t a;
+        std::size_t b;      // == a for boundary edges
+        bool boundary;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(n * (n + 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        edges.push_back(Edge{boundaryDistance(events[i]), i, i, true});
+        for (std::size_t j = i + 1; j < n; ++j)
+            edges.push_back(Edge{distance(events[i], events[j]), i, j,
+                                 false});
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &x, const Edge &y) {
+                  return x.weight < y.weight;
+              });
+
+    MatchingResult result;
+    std::vector<std::uint8_t> used(n, 0);
+    std::size_t remaining = n;
+    for (const Edge &e : edges) {
+        if (!remaining)
+            break;
+        if (used[e.a] || (!e.boundary && used[e.b]))
+            continue;
+        if (e.boundary) {
+            used[e.a] = 1;
+            --remaining;
+            result.matches.push_back(Match{e.a, 0, true, e.weight});
+        } else {
+            used[e.a] = 1;
+            used[e.b] = 1;
+            remaining -= 2;
+            result.matches.push_back(Match{e.a, e.b, false, e.weight});
+        }
+        result.totalWeight += e.weight;
+    }
+    QUEST_ASSERT(remaining == 0, "greedy matcher left events unmatched");
+    return result;
+}
+
+MatchingResult
+MwpmDecoder::matchEvents(const std::vector<DetectionEvent> &events) const
+{
+    if (events.empty())
+        return {};
+    if (events.size() <= _exactLimit)
+        return matchExact(events);
+    return matchGreedy(events);
+}
+
+Correction
+MwpmDecoder::decode(const DetectionEvents &events) const
+{
+    Correction out;
+
+    // Flip parity per data qubit, then collect odd-parity qubits.
+    std::vector<std::uint8_t> xflip(_lattice->numQubits(), 0);
+    std::vector<std::uint8_t> zflip(_lattice->numQubits(), 0);
+
+    const auto apply_matches =
+        [&](const std::vector<DetectionEvent> &evts,
+            std::vector<std::uint8_t> &bits) {
+            const MatchingResult mr = matchEvents(evts);
+            for (const Match &m : mr.matches) {
+                const std::vector<std::size_t> path = m.toBoundary
+                    ? pathToBoundary(evts[m.a].ancilla)
+                    : pathBetween(evts[m.a].ancilla, evts[m.b].ancilla);
+                for (std::size_t q : path)
+                    bits[q] ^= 1;
+            }
+        };
+
+    // Z-check events locate X errors; X-check events locate Z errors.
+    apply_matches(events.zEvents, xflip);
+    apply_matches(events.xEvents, zflip);
+
+    for (std::size_t q = 0; q < xflip.size(); ++q) {
+        if (xflip[q])
+            out.xFlips.push_back(q);
+        if (zflip[q])
+            out.zFlips.push_back(q);
+    }
+    return out;
+}
+
+} // namespace quest::decode

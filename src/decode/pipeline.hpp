@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Two-level error-decoder pipeline (Section 4.2).
+ *
+ * Each MCE runs the local LUT decoder; residual (complex) patterns
+ * are forwarded over the global bus to the master controller's MWPM
+ * decoder. The pipeline accounts for the syndrome bytes that cross
+ * the global bus so the system model can charge them against the
+ * bandwidth budget.
+ */
+
+#ifndef QUEST_DECODE_PIPELINE_HPP
+#define QUEST_DECODE_PIPELINE_HPP
+
+#include "lut_decoder.hpp"
+#include "mwpm_decoder.hpp"
+#include "sim/stats.hpp"
+
+namespace quest::decode {
+
+/** Combined local + global decode with bus accounting. */
+class DecoderPipeline
+{
+  public:
+    explicit DecoderPipeline(const qecc::Lattice &lattice)
+        : _local(lattice), _global(lattice),
+          _stats("decoder"),
+          _eventsTotal(_stats.scalar("events_total",
+                                     "detection events observed")),
+          _eventsLocal(_stats.scalar("events_local",
+                                     "events resolved by the MCE LUT")),
+          _eventsGlobal(_stats.scalar(
+              "events_global",
+              "events forwarded to the master controller")),
+          _busBytes(_stats.scalar(
+              "syndrome_bus_bytes",
+              "syndrome bytes sent over the global bus"))
+    {}
+
+    /**
+     * Decode a batch of detection events: LUT first, MWPM on the
+     * residual. @return the combined correction.
+     */
+    Correction
+    decode(const DetectionEvents &events)
+    {
+        _eventsTotal += double(events.total());
+
+        LocalDecodeResult local = _local.decodeLocal(events);
+        _eventsLocal += double(local.resolvedEvents);
+        _eventsGlobal += double(local.residual.total());
+        _busBytes += double(local.residual.total()
+                            * detectionEventBytes);
+
+        Correction corr = local.correction;
+        corr.merge(_global.decode(local.residual));
+        return corr;
+    }
+
+    /** Fraction of events the local LUT resolved. */
+    double
+    localCoverage() const
+    {
+        const double total = _eventsTotal.value();
+        return total > 0.0 ? _eventsLocal.value() / total : 0.0;
+    }
+
+    double busBytes() const { return _busBytes.value(); }
+
+    sim::StatGroup &stats() { return _stats; }
+
+  private:
+    LutDecoder _local;
+    MwpmDecoder _global;
+
+    sim::StatGroup _stats;
+    sim::Scalar &_eventsTotal;
+    sim::Scalar &_eventsLocal;
+    sim::Scalar &_eventsGlobal;
+    sim::Scalar &_busBytes;
+};
+
+} // namespace quest::decode
+
+#endif // QUEST_DECODE_PIPELINE_HPP

@@ -1,0 +1,39 @@
+#include "simulator.hpp"
+
+namespace quest::distill {
+
+RoundOutcome
+simulateRound(double eps, sim::Rng &rng)
+{
+    // Inputs are labelled by the nonzero vectors of GF(2)^4.
+    std::uint8_t syndrome = 0;
+    std::size_t errors = 0;
+    for (std::uint8_t label = 1; label <= 15; ++label) {
+        if (rng.bernoulli(eps)) {
+            syndrome ^= label;
+            ++errors;
+        }
+    }
+    if (errors == 0)
+        return RoundOutcome::Accepted;
+    if (syndrome == 0)
+        return RoundOutcome::AcceptedBad;
+    return RoundOutcome::Rejected;
+}
+
+RoundStats
+simulateRounds(double eps, std::uint64_t rounds, sim::Rng &rng)
+{
+    RoundStats stats;
+    stats.rounds = rounds;
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        switch (simulateRound(eps, rng)) {
+          case RoundOutcome::Accepted: ++stats.accepted; break;
+          case RoundOutcome::AcceptedBad: ++stats.acceptedBad; break;
+          case RoundOutcome::Rejected: ++stats.rejected; break;
+        }
+    }
+    return stats;
+}
+
+} // namespace quest::distill

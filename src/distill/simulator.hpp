@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Monte-Carlo simulator for one 15-to-1 distillation round.
+ *
+ * The Bravyi-Kitaev protocol encodes the 15 inputs in the punctured
+ * Reed-Muller code RM*(1,4). Labelling the inputs by the nonzero
+ * vectors of GF(2)^4, an error pattern escapes detection exactly
+ * when the XOR of the labels of the erroneous inputs vanishes; the
+ * 35 undetected weight-3 patterns are the lines of PG(3,2), which is
+ * where the canonical eps_out ~= 35 eps^3 comes from. The simulator
+ * samples input errors, applies the syndrome check, and reports
+ * acceptance and undetected-error rates -- used by tests to validate
+ * the analytical TFactoryModel against a faithful protocol model.
+ */
+
+#ifndef QUEST_DISTILL_SIMULATOR_HPP
+#define QUEST_DISTILL_SIMULATOR_HPP
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+
+namespace quest::distill {
+
+/** Outcome of one simulated distillation round. */
+enum class RoundOutcome
+{
+    Accepted,       ///< syndrome clean, output state good
+    AcceptedBad,    ///< syndrome clean but output carries an error
+    Rejected,       ///< syndrome flagged; inputs discarded
+};
+
+/** Statistics over many simulated rounds. */
+struct RoundStats
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t acceptedBad = 0;
+    std::uint64_t rejected = 0;
+
+    /** Error rate among accepted outputs. */
+    double
+    outputErrorRate() const
+    {
+        const std::uint64_t total = accepted + acceptedBad;
+        return total ? double(acceptedBad) / double(total) : 0.0;
+    }
+
+    /** Probability a round is not rejected. */
+    double
+    acceptanceRate() const
+    {
+        return rounds ? double(accepted + acceptedBad) / double(rounds)
+                      : 0.0;
+    }
+};
+
+/** Simulate a single 15-to-1 round with i.i.d. input error eps. */
+RoundOutcome simulateRound(double eps, sim::Rng &rng);
+
+/** Run many rounds and aggregate statistics. */
+RoundStats simulateRounds(double eps, std::uint64_t rounds,
+                          sim::Rng &rng);
+
+} // namespace quest::distill
+
+#endif // QUEST_DISTILL_SIMULATOR_HPP

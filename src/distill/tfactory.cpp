@@ -1,0 +1,85 @@
+#include "tfactory.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::distill {
+
+std::size_t
+TFactoryModel::levelsNeeded(double eps_in, double eps_target) const
+{
+    QUEST_ASSERT(eps_in > 0.0 && eps_in < 1.0,
+                 "input error %g out of range", eps_in);
+    QUEST_ASSERT(eps_target > 0.0, "target error must be positive");
+    if (eps_in <= eps_target)
+        return 0;
+
+    double eps = eps_in;
+    std::size_t levels = 0;
+    while (eps > eps_target) {
+        const double next = _spec.roundOutputError(eps);
+        QUEST_ASSERT(next < eps,
+                     "distillation is not converging (eps=%g); input "
+                     "error above protocol threshold", eps);
+        eps = next;
+        ++levels;
+        QUEST_ASSERT(levels <= 16, "distillation depth exploded");
+    }
+    return levels;
+}
+
+double
+TFactoryModel::outputError(double eps_in, std::size_t levels) const
+{
+    double eps = eps_in;
+    for (std::size_t l = 0; l < levels; ++l)
+        eps = _spec.roundOutputError(eps);
+    return eps;
+}
+
+double
+TFactoryModel::instructionsPerState(std::size_t levels) const
+{
+    // instr(L) = round body + 15 * instr(L-1); instr(0) = 0.
+    double instr = 0.0;
+    for (std::size_t l = 0; l < levels; ++l) {
+        instr = double(_spec.instructionsPerRound)
+            + double(_spec.inputStates) * instr;
+    }
+    return instr;
+}
+
+TFactoryPlan
+TFactoryModel::plan(double eps_in, double total_t_gates, double t_rate,
+                    double failure_budget) const
+{
+    QUEST_ASSERT(total_t_gates > 0 && t_rate > 0,
+                 "T gate demand must be positive");
+
+    TFactoryPlan out;
+    const double eps_target = failure_budget / total_t_gates;
+    out.levels = std::max<std::size_t>(1,
+        levelsNeeded(eps_in, eps_target));
+    out.outputError = outputError(eps_in, out.levels);
+    out.instrPerMagicState = instructionsPerState(out.levels);
+
+    // A level-L factory pipeline occupies L rounds back to back and
+    // holds the working set of the widest level.
+    out.stepsPerMagicState =
+        double(out.levels * _spec.stepsPerRound);
+    out.logicalQubitsPerFactory = double(_spec.logicalQubits)
+        * std::pow(double(_spec.inputStates), double(out.levels - 1));
+
+    // Enough parallel factories to match the application's T demand.
+    out.factories = std::size_t(
+        std::ceil(t_rate * out.stepsPerMagicState));
+
+    // Continuous plant instruction rate: every active factory keeps
+    // its logical qubits busy each step.
+    out.plantInstrPerStep = double(out.factories)
+        * out.logicalQubitsPerFactory;
+    return out;
+}
+
+} // namespace quest::distill

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Magic-state distillation and T-factory model (Section 5.2).
+ *
+ * T gates cannot be applied transversally on the surface code; each
+ * consumes an ancillary logical qubit in the "magic" state, produced
+ * by the recursive 15-to-1 Bravyi-Kitaev distillation protocol: one
+ * round consumes 15 noisy copies (error eps) and yields one copy of
+ * error ~35 eps^3. Rounds are stacked until the output error meets
+ * the application's total T-count budget.
+ *
+ * Because workloads execute a T roughly every third instruction
+ * (Section 5.2: T gates are 25-30% of the stream) and a factory
+ * needs many logical time-steps per output state, a plant of
+ * parallel factories must run *continuously*, and its instruction
+ * stream rivals QECC as a bandwidth consumer. The factory-count
+ * scaling is sub-linear in the error rate, C^log|log(e_r)|
+ * (Section 7), reproduced here via the recursion depth.
+ */
+
+#ifndef QUEST_DISTILL_TFACTORY_HPP
+#define QUEST_DISTILL_TFACTORY_HPP
+
+#include <cstdint>
+
+namespace quest::distill {
+
+/** Parameters of the 15-to-1 distillation protocol. */
+struct DistillationSpec
+{
+    std::size_t inputStates = 15;  ///< noisy inputs per round
+    double errorConstant = 35.0;   ///< eps_out = C * eps_in^3
+    std::size_t logicalQubits = 16; ///< logical qubits per round block
+    /** Logical instructions in one round body (the 100-200 range the
+     *  paper quotes for a typical distillation algorithm). */
+    std::size_t instructionsPerRound = 148;
+    /** Logical time-steps one round occupies. */
+    std::size_t stepsPerRound = 10;
+
+    /** Output error after one round on inputs of error eps. */
+    double
+    roundOutputError(double eps) const
+    {
+        return errorConstant * eps * eps * eps;
+    }
+};
+
+/** Derived properties of a distillation plant for one workload. */
+struct TFactoryPlan
+{
+    std::size_t levels = 1;        ///< recursion depth
+    double outputError = 0.0;      ///< per-state error after distilling
+    std::size_t factories = 1;     ///< parallel factories needed
+    double instrPerMagicState = 0; ///< logical instructions per state
+    double logicalQubitsPerFactory = 0;
+    double stepsPerMagicState = 0; ///< factory latency in time-steps
+    /** Aggregate factory logical-instruction rate, instructions per
+     *  logical time-step, across the whole plant. */
+    double plantInstrPerStep = 0;
+};
+
+/** Analytical model of the distillation subsystem. */
+class TFactoryModel
+{
+  public:
+    explicit TFactoryModel(DistillationSpec spec = DistillationSpec{})
+        : _spec(spec)
+    {}
+
+    const DistillationSpec &spec() const { return _spec; }
+
+    /**
+     * Recursion depth needed to distill injected states of error
+     * `eps_in` down to `eps_target`.
+     */
+    std::size_t levelsNeeded(double eps_in, double eps_target) const;
+
+    /** Output error after `levels` rounds starting from eps_in. */
+    double outputError(double eps_in, std::size_t levels) const;
+
+    /** Logical instructions to produce one level-L magic state. */
+    double instructionsPerState(std::size_t levels) const;
+
+    /**
+     * Size a distillation plant.
+     * @param eps_in Injected magic-state error (the physical rate).
+     * @param total_t_gates T count of the application.
+     * @param t_rate T gates demanded per logical time-step
+     *        (tFraction x ILP).
+     * @param failure_budget Allowed total T-induced failure.
+     */
+    TFactoryPlan plan(double eps_in, double total_t_gates,
+                      double t_rate, double failure_budget = 0.5) const;
+
+  private:
+    DistillationSpec _spec;
+};
+
+} // namespace quest::distill
+
+#endif // QUEST_DISTILL_TFACTORY_HPP

@@ -1,0 +1,70 @@
+#include "delivery.hpp"
+
+#include "qecc/distance.hpp"
+#include "sim/logging.hpp"
+
+namespace quest::host {
+
+sim::Tick
+DeliveryPath::deliverRound(sim::Rng &rng) const
+{
+    QUEST_ASSERT(_job.instructionsPerRound > 0,
+                 "delivery job is empty");
+    QUEST_ASSERT(_cache.lineInstructions > 0,
+                 "cache line must hold instructions");
+
+    // Pipelined channel time for the payload itself.
+    const double channel_ticks = double(_job.instructionsPerRound)
+        / _job.channelInstrPerTick;
+
+    // Per-line fetch latencies; misses stall the pipeline.
+    const std::size_t lines =
+        (_job.instructionsPerRound + _cache.lineInstructions - 1)
+        / _cache.lineInstructions;
+    sim::Tick stall = 0;
+    for (std::size_t i = 0; i < lines; ++i) {
+        if (rng.bernoulli(_cache.missRate))
+            stall += _cache.missPenalty;
+    }
+    // Hit latency is pipelined away except for the first access.
+    return sim::Tick(channel_ticks) + _cache.hitLatency + stall;
+}
+
+DeliveryReport
+DeliveryPath::deliverRounds(std::uint64_t rounds, sim::Rng &rng) const
+{
+    DeliveryReport report;
+    report.rounds = rounds;
+    double stretch_sum = 0.0;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        const sim::Tick t = deliverRound(rng);
+        const double stretch = double(t) < double(_job.roundDeadline)
+            ? 1.0
+            : double(t) / double(_job.roundDeadline);
+        stretch_sum += stretch;
+        report.worstStretch = std::max(report.worstStretch, stretch);
+        if (t > _job.roundDeadline) {
+            ++report.lateRounds;
+            report.totalStall += t - _job.roundDeadline;
+        }
+    }
+    report.meanStretch = stretch_sum / double(rounds);
+    return report;
+}
+
+double
+logicalErrorInflation(double p, std::size_t d, double mean_stretch)
+{
+    QUEST_ASSERT(mean_stretch >= 1.0,
+                 "stretch below 1 is not physical");
+    const double base = qecc::logicalErrorPerRound(p, d);
+    const double p_eff =
+        DeliveryPath::effectiveErrorRate(p, mean_stretch);
+    // Above threshold the code no longer corrects: report the
+    // saturated inflation rather than extrapolating the power law.
+    if (p_eff >= qecc::surfaceCodeThreshold)
+        return 1.0 / base;
+    return qecc::logicalErrorPerRound(p_eff, d) / base;
+}
+
+} // namespace quest::host

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Baseline instruction-delivery path model (paper Figure 3 and
+ * Section 3.4).
+ *
+ * In the software-managed baseline, QECC instructions stream from
+ * host storage through the 77 K cryogenic DRAM to the control
+ * processor. Conventional bandwidth tricks -- instruction caches --
+ * introduce *non-deterministic* latency (misses, tag lookups), and
+ * Section 3.4 argues this is unacceptable for QECC: "even small
+ * delay (~100ns) in the execution of QECC can result in
+ * uncorrectable errors".
+ *
+ * This module makes that argument quantitative. A DeliveryPath is a
+ * pipeline of a cache model and a channel; each QECC round must
+ * deliver its full instruction footprint before the round deadline
+ * (T_ecc). Cache misses stall the stream; any stall extends the
+ * round, the data qubits decohere for the extra time, and the
+ * effective physical error rate per round is inflated by the
+ * relative stretch. Feeding the inflated rate back through the
+ * logical error model of qecc/distance.hpp shows how quickly a
+ * cached (non-deterministic) delivery path destroys the code -- the
+ * paper's case for QuEST's deterministic microcode replay.
+ */
+
+#ifndef QUEST_HOST_DELIVERY_HPP
+#define QUEST_HOST_DELIVERY_HPP
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace quest::host {
+
+/** An instruction cache on the delivery path. */
+struct CacheConfig
+{
+    /** Probability a fetch misses (0 disables all non-determinism,
+     *  modelling a perfectly provisioned deterministic stream). */
+    double missRate = 0.0;
+    /** Latency of a hit, per fetched line. */
+    sim::Tick hitLatency = sim::nanoseconds(1);
+    /** Additional latency of a miss (DRAM access at 77 K). */
+    sim::Tick missPenalty = sim::nanoseconds(100);
+    /** Instructions delivered per fetched line. */
+    std::size_t lineInstructions = 64;
+};
+
+/** Static description of the per-round delivery job. */
+struct DeliveryJob
+{
+    std::size_t instructionsPerRound = 0; ///< qubits x uops/qubit
+    sim::Tick roundDeadline = 0;          ///< T_ecc
+    /** Channel bandwidth in instructions per tick (pipelined best
+     *  case; stalls add on top). */
+    double channelInstrPerTick = 1.0;
+};
+
+/** Outcome of delivering many rounds. */
+struct DeliveryReport
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t lateRounds = 0;     ///< rounds past their deadline
+    sim::Tick totalStall = 0;         ///< cumulative stall time
+    double meanStretch = 1.0;         ///< mean round time / deadline
+    double worstStretch = 1.0;
+
+    double
+    lateFraction() const
+    {
+        return rounds ? double(lateRounds) / double(rounds) : 0.0;
+    }
+};
+
+/** Simulates the cache + channel path for QECC rounds. */
+class DeliveryPath
+{
+  public:
+    DeliveryPath(CacheConfig cache, DeliveryJob job)
+        : _cache(cache), _job(job)
+    {}
+
+    const CacheConfig &cache() const { return _cache; }
+    const DeliveryJob &job() const { return _job; }
+
+    /** Time to deliver one round's instructions (samples misses). */
+    sim::Tick deliverRound(sim::Rng &rng) const;
+
+    /** Deliver many rounds and aggregate. */
+    DeliveryReport deliverRounds(std::uint64_t rounds,
+                                 sim::Rng &rng) const;
+
+    /**
+     * The effective physical error rate per round when the base
+     * rate is `p`: decoherence accrues for the stretched round, so
+     * p_eff = p * (round time / deadline).
+     */
+    static double
+    effectiveErrorRate(double p, double stretch)
+    {
+        return p * stretch;
+    }
+
+  private:
+    CacheConfig _cache;
+    DeliveryJob _job;
+};
+
+/**
+ * End-to-end determinism verdict: with base physical error rate p
+ * and code distance d, by what factor does the delivery path's mean
+ * stretch inflate the *logical* error rate?
+ */
+double logicalErrorInflation(double p, std::size_t d,
+                             double mean_stretch);
+
+} // namespace quest::host
+
+#endif // QUEST_HOST_DELIVERY_HPP

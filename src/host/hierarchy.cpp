@@ -1,0 +1,29 @@
+#include "hierarchy.hpp"
+
+namespace quest::host {
+
+SystemHierarchy::SystemHierarchy()
+{
+    // Budgets follow the published capabilities of large dilution
+    // refrigerators and the cryo-control literature the paper cites
+    // (Hornibrook et al.): ~watts at 4 K, ~tens of microwatts at
+    // the mixing chamber.
+    _domains = {
+        ThermalDomain{ "host-300K", 300.0, 1e4, 0.0 },
+        ThermalDomain{ "dram-77K", 77.0, 1e2, 0.0 },
+        ThermalDomain{ "control-4K", 4.0, 1.0, 0.0 },
+        ThermalDomain{ "substrate-20mK", 0.02, 20e-6, 0.0 },
+    };
+}
+
+bool
+SystemHierarchy::allocate(ThermalDomain &domain, double power_w)
+{
+    QUEST_ASSERT(power_w >= 0.0, "cannot allocate negative power");
+    if (!domain.fits(power_w))
+        return false;
+    domain.allocatedW += power_w;
+    return true;
+}
+
+} // namespace quest::host

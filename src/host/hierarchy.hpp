@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cryogenic system hierarchy (paper Figure 3, Sections 1-2).
+ *
+ * The machine spans four thermal domains: the room-temperature
+ * host, cryogenic DRAM at 77 K holding the instruction working set,
+ * the JJ control processor at 4 K, and the quantum substrate at
+ * 20 mK. Each stage of a dilution refrigerator has a cooling-power
+ * budget, and every watt dissipated at a cold stage (or conducted
+ * down the wiring) must be pumped out at brutal overhead. This
+ * module captures those budgets so control-processor designs can be
+ * sanity-checked: QuEST's per-MCE microcode power (Table 2) times
+ * the MCE count must fit the 4 K budget.
+ */
+
+#ifndef QUEST_HOST_HIERARCHY_HPP
+#define QUEST_HOST_HIERARCHY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace quest::host {
+
+/** One thermal stage of the system. */
+struct ThermalDomain
+{
+    std::string name;
+    double temperatureK = 300.0;
+    /** Cooling power available at this stage, in watts. */
+    double coolingBudgetW = 0.0;
+    /** Power currently allocated, in watts. */
+    double allocatedW = 0.0;
+
+    double headroomW() const { return coolingBudgetW - allocatedW; }
+
+    bool fits(double extra_w) const
+    {
+        return allocatedW + extra_w <= coolingBudgetW;
+    }
+};
+
+/** The standard four-domain organization of Figure 3. */
+class SystemHierarchy
+{
+  public:
+    SystemHierarchy();
+
+    /** Domain accessors by temperature. */
+    ThermalDomain &host() { return _domains[0]; }
+    ThermalDomain &dram77K() { return _domains[1]; }
+    ThermalDomain &control4K() { return _domains[2]; }
+    ThermalDomain &substrate20mK() { return _domains[3]; }
+
+    const std::vector<ThermalDomain> &domains() const
+    {
+        return _domains;
+    }
+
+    /**
+     * Try to place a component drawing `power_w` at a domain.
+     * @return true on success (allocation recorded).
+     */
+    bool allocate(ThermalDomain &domain, double power_w);
+
+    /**
+     * Maximum number of identical components of `unit_power_w` that
+     * fit the domain's remaining headroom.
+     */
+    std::uint64_t
+    capacityFor(const ThermalDomain &domain, double unit_power_w) const
+    {
+        QUEST_ASSERT(unit_power_w > 0.0, "unit power must be positive");
+        if (domain.headroomW() <= 0.0)
+            return 0;
+        return std::uint64_t(domain.headroomW() / unit_power_w);
+    }
+
+  private:
+    std::vector<ThermalDomain> _domains;
+};
+
+} // namespace quest::host
+
+#endif // QUEST_HOST_HIERARCHY_HPP

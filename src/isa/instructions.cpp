@@ -1,0 +1,79 @@
+#include "instructions.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::isa {
+
+std::string
+PhysInstr::toString() const
+{
+    return physOpcodeName(opcode) + " q" + std::to_string(qubit);
+}
+
+std::size_t
+opcodeBits(std::size_t opcode_count)
+{
+    QUEST_ASSERT(opcode_count > 0, "opcode count must be positive");
+    std::size_t bits = 0;
+    std::size_t capacity = 1;
+    while (capacity < opcode_count) {
+        capacity *= 2;
+        ++bits;
+    }
+    return bits == 0 ? 1 : bits;
+}
+
+std::size_t
+addressBits(std::size_t num_qubits)
+{
+    QUEST_ASSERT(num_qubits > 0, "qubit count must be positive");
+    std::size_t bits = 0;
+    std::size_t capacity = 1;
+    while (capacity < num_qubits) {
+        capacity *= 2;
+        ++bits;
+    }
+    return bits == 0 ? 1 : bits;
+}
+
+std::size_t
+ramUopBits(std::size_t opcode_count, std::size_t num_qubits)
+{
+    return opcodeBits(opcode_count) + addressBits(num_qubits);
+}
+
+std::size_t
+fifoUopBits(std::size_t opcode_count)
+{
+    return opcodeBits(opcode_count);
+}
+
+std::uint16_t
+LogicalInstr::encode() const
+{
+    QUEST_ASSERT(operand <= maxLogicalOperand,
+                 "logical operand %u exceeds 12 bits", operand);
+    const auto op = static_cast<std::uint16_t>(opcode);
+    QUEST_ASSERT(op < 16, "logical opcode %u exceeds 4 bits", op);
+    return static_cast<std::uint16_t>((op << 12) | operand);
+}
+
+LogicalInstr
+LogicalInstr::decode(std::uint16_t word)
+{
+    LogicalInstr out;
+    const auto op = static_cast<std::uint8_t>(word >> 12);
+    QUEST_ASSERT(op < logicalOpcodeCount,
+                 "decoded invalid logical opcode %u", unsigned(op));
+    out.opcode = static_cast<LogicalOpcode>(op);
+    out.operand = word & maxLogicalOperand;
+    return out;
+}
+
+std::string
+LogicalInstr::toString() const
+{
+    return logicalOpcodeName(opcode) + " L" + std::to_string(operand);
+}
+
+} // namespace quest::isa

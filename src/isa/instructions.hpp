@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Instruction formats and encodings.
+ *
+ * PhysInstr is a micro-op bound to a qubit; in the baseline RAM
+ * microcode each stored uop carries opcode + address bits, in the
+ * FIFO design the address bits are dropped (Section 4.5), so the
+ * storage cost of a uop is design-dependent and computed by the
+ * uopBits() helpers here.
+ *
+ * LogicalInstr is the 2-byte fault-tolerant instruction: a 4-bit
+ * opcode plus a 12-bit operand (logical qubit id or mask region id),
+ * matching the fixed 2-byte quantum instruction size the paper
+ * assumes for the logical cache evaluation.
+ */
+
+#ifndef QUEST_ISA_INSTRUCTIONS_HPP
+#define QUEST_ISA_INSTRUCTIONS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "opcodes.hpp"
+
+namespace quest::isa {
+
+/** A physical micro-op addressed to a specific qubit. */
+struct PhysInstr
+{
+    PhysOpcode opcode = PhysOpcode::Nop;
+    std::uint32_t qubit = 0;
+
+    bool operator==(const PhysInstr &other) const = default;
+
+    std::string toString() const;
+};
+
+/** Number of bits needed for a bare opcode field. */
+std::size_t opcodeBits(std::size_t opcode_count);
+
+/** Number of address bits needed to name one of n qubits. */
+std::size_t addressBits(std::size_t num_qubits);
+
+/**
+ * Storage bits per uop in the RAM (random access) microcode design:
+ * opcode + address.
+ */
+std::size_t ramUopBits(std::size_t opcode_count, std::size_t num_qubits);
+
+/**
+ * Storage bits per uop in the FIFO / unit-cell designs: opcode only
+ * (qubits are addressed implicitly by stream order).
+ */
+std::size_t fifoUopBits(std::size_t opcode_count);
+
+/** A 2-byte logical instruction. */
+struct LogicalInstr
+{
+    LogicalOpcode opcode = LogicalOpcode::Nop;
+    std::uint16_t operand = 0; ///< logical qubit / mask region id (12 bits)
+
+    bool operator==(const LogicalInstr &other) const = default;
+
+    /** Encode into the fixed 2-byte wire format. */
+    std::uint16_t encode() const;
+
+    /** Decode from the 2-byte wire format. */
+    static LogicalInstr decode(std::uint16_t word);
+
+    std::string toString() const;
+};
+
+/** Maximum operand value representable in the 12-bit field. */
+inline constexpr std::uint16_t maxLogicalOperand = 0x0FFF;
+
+} // namespace quest::isa
+
+#endif // QUEST_ISA_INSTRUCTIONS_HPP

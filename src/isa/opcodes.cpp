@@ -1,0 +1,113 @@
+#include "opcodes.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::isa {
+
+std::string
+physOpcodeName(PhysOpcode op)
+{
+    switch (op) {
+      case PhysOpcode::Nop: return "NOP";
+      case PhysOpcode::PrepZ: return "PREP_Z";
+      case PhysOpcode::PrepX: return "PREP_X";
+      case PhysOpcode::MeasZ: return "MEAS_Z";
+      case PhysOpcode::MeasX: return "MEAS_X";
+      case PhysOpcode::Hadamard: return "H";
+      case PhysOpcode::Phase: return "S";
+      case PhysOpcode::CnotN: return "CNOT_N";
+      case PhysOpcode::CnotE: return "CNOT_E";
+      case PhysOpcode::CnotS: return "CNOT_S";
+      case PhysOpcode::CnotW: return "CNOT_W";
+      case PhysOpcode::CnotTargetN: return "CNOTT_N";
+      case PhysOpcode::CnotTargetE: return "CNOTT_E";
+      case PhysOpcode::CnotTargetS: return "CNOTT_S";
+      case PhysOpcode::CnotTargetW: return "CNOTT_W";
+      case PhysOpcode::Verify: return "VERIFY";
+      case PhysOpcode::NumOpcodes: break;
+    }
+    sim::panic("invalid physical opcode %u", unsigned(op));
+}
+
+bool
+isTwoQubit(PhysOpcode op)
+{
+    switch (op) {
+      case PhysOpcode::CnotN:
+      case PhysOpcode::CnotE:
+      case PhysOpcode::CnotS:
+      case PhysOpcode::CnotW:
+      case PhysOpcode::CnotTargetN:
+      case PhysOpcode::CnotTargetE:
+      case PhysOpcode::CnotTargetS:
+      case PhysOpcode::CnotTargetW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMeasurement(PhysOpcode op)
+{
+    return op == PhysOpcode::MeasZ || op == PhysOpcode::MeasX;
+}
+
+std::string
+logicalOpcodeName(LogicalOpcode op)
+{
+    switch (op) {
+      case LogicalOpcode::Nop: return "NOP";
+      case LogicalOpcode::PrepZ: return "LPREP_Z";
+      case LogicalOpcode::PrepX: return "LPREP_X";
+      case LogicalOpcode::MeasZ: return "LMEAS_Z";
+      case LogicalOpcode::MeasX: return "LMEAS_X";
+      case LogicalOpcode::X: return "LX";
+      case LogicalOpcode::Z: return "LZ";
+      case LogicalOpcode::Hadamard: return "LH";
+      case LogicalOpcode::Phase: return "LS";
+      case LogicalOpcode::T: return "LT";
+      case LogicalOpcode::Cnot: return "LCNOT";
+      case LogicalOpcode::MaskExpand: return "MASK_EXPAND";
+      case LogicalOpcode::MaskContract: return "MASK_CONTRACT";
+      case LogicalOpcode::MaskMove: return "MASK_MOVE";
+      case LogicalOpcode::Braid: return "BRAID";
+      case LogicalOpcode::SyncToken: return "SYNC";
+      case LogicalOpcode::NumOpcodes: break;
+    }
+    sim::panic("invalid logical opcode %u", unsigned(op));
+}
+
+bool
+isMaskInstruction(LogicalOpcode op)
+{
+    switch (op) {
+      case LogicalOpcode::MaskExpand:
+      case LogicalOpcode::MaskContract:
+      case LogicalOpcode::MaskMove:
+      case LogicalOpcode::Braid:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTransverse(LogicalOpcode op)
+{
+    switch (op) {
+      case LogicalOpcode::PrepZ:
+      case LogicalOpcode::PrepX:
+      case LogicalOpcode::MeasZ:
+      case LogicalOpcode::MeasX:
+      case LogicalOpcode::X:
+      case LogicalOpcode::Z:
+      case LogicalOpcode::Hadamard:
+      case LogicalOpcode::Phase:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace quest::isa

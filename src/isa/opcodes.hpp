@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Physical and logical opcode definitions.
+ *
+ * Physical micro-ops (uops) are what the microcode pipeline latches
+ * onto microwave switches: one per qubit per QECC sub-cycle. A uop
+ * names a waveform (gate type); two-qubit gates are direction-coded
+ * so that a single per-qubit opcode suffices (e.g. CnotN means
+ * "CNOT with my northern neighbour, I am the control").
+ *
+ * Logical instructions are the 2-byte fault-tolerant instructions
+ * the master controller dispatches to MCEs (Balensiefer-style ISA,
+ * Section 5.3). Transverse instructions apply a physical gate across
+ * a logical qubit; mask instructions reshape logical qubit
+ * boundaries in the mask table.
+ */
+
+#ifndef QUEST_ISA_OPCODES_HPP
+#define QUEST_ISA_OPCODES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace quest::isa {
+
+/** Physical micro-op: selects the waveform applied to one qubit. */
+enum class PhysOpcode : std::uint8_t
+{
+    Nop = 0,     ///< identity / idle
+    PrepZ,       ///< initialize to |0>
+    PrepX,       ///< initialize to |+>
+    MeasZ,       ///< Z-basis measurement
+    MeasX,       ///< X-basis measurement
+    Hadamard,    ///< H gate
+    Phase,       ///< S gate
+    CnotN,       ///< CNOT with northern neighbour (this qubit control)
+    CnotE,       ///< CNOT with eastern neighbour
+    CnotS,       ///< CNOT with southern neighbour
+    CnotW,       ///< CNOT with western neighbour
+    CnotTargetN, ///< CNOT with northern neighbour (this qubit target)
+    CnotTargetE,
+    CnotTargetS,
+    CnotTargetW,
+    Verify,      ///< cat-state verification step (Shor-style extraction)
+
+    NumOpcodes,
+};
+
+/** Number of distinct physical opcodes. */
+inline constexpr std::size_t physOpcodeCount =
+    static_cast<std::size_t>(PhysOpcode::NumOpcodes);
+
+/** Mnemonic for a physical opcode. */
+std::string physOpcodeName(PhysOpcode op);
+
+/** @return true for two-qubit (directional CNOT) micro-ops. */
+bool isTwoQubit(PhysOpcode op);
+
+/** @return true for measurement micro-ops. */
+bool isMeasurement(PhysOpcode op);
+
+/**
+ * Logical fault-tolerant instruction opcodes. Arbitrary rotations
+ * are decomposed into Clifford+T before reaching the MCE (footnote
+ * 7 of the paper), so the ISA carries only Cliffords, T, memory ops
+ * and mask manipulation.
+ */
+enum class LogicalOpcode : std::uint8_t
+{
+    Nop = 0,
+    PrepZ,        ///< transverse logical |0> preparation
+    PrepX,        ///< transverse logical |+> preparation
+    MeasZ,        ///< transverse logical Z measurement
+    MeasX,        ///< transverse logical X measurement
+    X,            ///< transverse logical X
+    Z,            ///< transverse logical Z
+    Hadamard,     ///< transverse logical H
+    Phase,        ///< logical S
+    T,            ///< logical T (consumes one magic state)
+    Cnot,         ///< logical CNOT (braiding sequence)
+    MaskExpand,   ///< grow a logical qubit boundary (mask instruction)
+    MaskContract, ///< shrink a logical qubit boundary
+    MaskMove,     ///< move a logical qubit boundary
+    Braid,        ///< braid one boundary around another
+    SyncToken,    ///< master-controller synchronization token
+
+    NumOpcodes,
+};
+
+inline constexpr std::size_t logicalOpcodeCount =
+    static_cast<std::size_t>(LogicalOpcode::NumOpcodes);
+
+/** Mnemonic for a logical opcode. */
+std::string logicalOpcodeName(LogicalOpcode op);
+
+/** @return true for mask-table-manipulating instructions. */
+bool isMaskInstruction(LogicalOpcode op);
+
+/** @return true for transverse (SIMD-across-the-block) instructions. */
+bool isTransverse(LogicalOpcode op);
+
+} // namespace quest::isa
+
+#endif // QUEST_ISA_OPCODES_HPP

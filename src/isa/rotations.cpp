@@ -1,0 +1,54 @@
+#include "rotations.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+#include "sim/random.hpp"
+
+namespace quest::isa {
+
+double
+rotationTCount(double epsilon, RotationSynthesis synth)
+{
+    QUEST_ASSERT(epsilon > 0.0 && epsilon < 1.0,
+                 "precision %g out of range", epsilon);
+    return synth.tPerPrecisionBit * std::log2(1.0 / epsilon);
+}
+
+double
+rotationInstructionCount(double epsilon, RotationSynthesis synth)
+{
+    const double t = rotationTCount(epsilon, synth);
+    return t * (1.0 + synth.cliffordPerT);
+}
+
+LogicalTrace
+synthesizeRotation(std::uint16_t qubit, std::uint64_t angle_seed,
+                   double epsilon, RotationSynthesis synth)
+{
+    const auto t_count =
+        std::size_t(std::ceil(rotationTCount(epsilon, synth)));
+
+    // A deterministic Clifford+T word: the angle seed fixes the
+    // interleaving pattern (a stand-in for the binary expansion the
+    // synthesis algorithm would produce).
+    sim::Rng pattern(angle_seed);
+    LogicalTrace word;
+    for (std::size_t i = 0; i < t_count; ++i) {
+        word.append(LogicalOpcode::T, qubit);
+        const auto cliffords =
+            std::size_t(std::floor(synth.cliffordPerT))
+            + (pattern.bernoulli(synth.cliffordPerT
+                                 - std::floor(synth.cliffordPerT))
+                   ? 1u : 0u);
+        for (std::size_t c = 0; c < cliffords; ++c) {
+            word.append(pattern.bernoulli(0.5)
+                            ? LogicalOpcode::Hadamard
+                            : LogicalOpcode::Phase,
+                        qubit);
+        }
+    }
+    return word;
+}
+
+} // namespace quest::isa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arbitrary-rotation decomposition model (paper footnote 7).
+ *
+ * "Arbitrary rotations are not translated at the MCE. They are
+ * either decomposed at run-time (by the master controller) or at
+ * compile time (by the Host)." Decomposition turns an Rz(theta)
+ * into a Clifford+T word whose length scales as c * log2(1/eps)
+ * for target precision eps (Solovay-Kitaev gives polylog; modern
+ * direct synthesis achieves c ~= 3 with T-count ~ 3 log2(1/eps),
+ * which is the constant used by the quantum-rotation studies the
+ * paper cites).
+ *
+ * The model matters for bandwidth because decomposition multiplies
+ * the logical instruction count of rotation-heavy workloads
+ * (chemistry, QLS) before anything reaches the MCEs.
+ */
+
+#ifndef QUEST_ISA_ROTATIONS_HPP
+#define QUEST_ISA_ROTATIONS_HPP
+
+#include <cstdint>
+
+#include "trace.hpp"
+
+namespace quest::isa {
+
+/** Synthesis-quality constants for Clifford+T decomposition. */
+struct RotationSynthesis
+{
+    /** T gates per factor of two in precision (~3 for
+     *  repeat-until-success / direct synthesis). */
+    double tPerPrecisionBit = 3.0;
+    /** Clifford gates interleaved per T gate in the word. */
+    double cliffordPerT = 1.5;
+};
+
+/** T-count of one Rz(theta) synthesized to precision eps. */
+double rotationTCount(double epsilon,
+                      RotationSynthesis synth = RotationSynthesis{});
+
+/** Total Clifford+T instruction count of one rotation. */
+double rotationInstructionCount(
+    double epsilon, RotationSynthesis synth = RotationSynthesis{});
+
+/**
+ * Expand a rotation into an explicit Clifford+T instruction word on
+ * one logical qubit. The word is deterministic for a fixed angle
+ * seed -- run-time decomposition by the master controller can
+ * therefore also be cached (the same icache mechanism that absorbs
+ * distillation blocks).
+ *
+ * @param qubit Target logical qubit id.
+ * @param angle_seed Identifies the rotation angle (drives the H/S
+ *        interleaving pattern).
+ * @param epsilon Target precision.
+ */
+LogicalTrace synthesizeRotation(
+    std::uint16_t qubit, std::uint64_t angle_seed, double epsilon,
+    RotationSynthesis synth = RotationSynthesis{});
+
+} // namespace quest::isa
+
+#endif // QUEST_ISA_ROTATIONS_HPP

@@ -1,0 +1,134 @@
+#include "braiding.hpp"
+
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+bool
+squaresConflict(const MaskSquare &a, const MaskSquare &b)
+{
+    // Conflict when the squares overlap or are directly adjacent
+    // (their masked perimeters would merge).
+    const int a_r0 = a.topLeft.row - 1;
+    const int a_c0 = a.topLeft.col - 1;
+    const int a_r1 = a.topLeft.row + int(a.size);
+    const int a_c1 = a.topLeft.col + int(a.size);
+    const int b_r0 = b.topLeft.row;
+    const int b_c0 = b.topLeft.col;
+    const int b_r1 = b.topLeft.row + int(b.size) - 1;
+    const int b_c1 = b.topLeft.col + int(b.size) - 1;
+    const bool row_sep = a_r1 < b_r0 || b_r1 < a_r0;
+    const bool col_sep = a_c1 < b_c0 || b_c1 < a_c0;
+    return !(row_sep || col_sep);
+}
+
+void
+BraidPlanner::appendWalk(std::vector<Coord> &path, Coord from,
+                         Coord to)
+{
+    QUEST_ASSERT(from.row == to.row || from.col == to.col,
+                 "braid walks are axis-aligned");
+    QUEST_ASSERT(std::abs(from.row - to.row) % 2 == 0
+                 && std::abs(from.col - to.col) % 2 == 0,
+                 "braid endpoints must share sublattice alignment");
+    Coord cur = from;
+    while (cur.row != to.row) {
+        cur.row += cur.row < to.row ? 2 : -2;
+        path.push_back(cur);
+    }
+    while (cur.col != to.col) {
+        cur.col += cur.col < to.col ? 2 : -2;
+        path.push_back(cur);
+    }
+}
+
+bool
+BraidPlanner::squareFits(Coord top_left, std::size_t size) const
+{
+    // The square itself plus its one-site perimeter must fit.
+    return _lattice->contains(Coord{top_left.row - 1,
+                                    top_left.col - 1})
+        && _lattice->contains(Coord{top_left.row + int(size),
+                                    top_left.col + int(size)});
+}
+
+BraidPlan
+BraidPlanner::planLoop(const MaskSquare &moving,
+                       const MaskSquare &around) const
+{
+    BraidPlan plan;
+    const int s = int(moving.size);
+
+    // Clearance ring: the moving square's top-left positions that
+    // keep exactly one free site between it and the target. This is
+    // the tightest loop that still encircles the target without the
+    // masked regions merging -- and on the side facing the target's
+    // partner defect it is the only loop that threads the d-site
+    // channel between them.
+    const int north = around.topLeft.row - s - 1;
+    const int west = around.topLeft.col - s - 1;
+    const int south = around.topLeft.row + int(around.size) + 1;
+    const int east = around.topLeft.col + int(around.size) + 1;
+
+    // Keep sublattice alignment: ring coordinates must differ from
+    // the start by even amounts. Shift outward by one if needed.
+    const Coord start = moving.topLeft;
+    const int nr = north - std::abs(north - start.row) % 2;
+    const int wr = west - std::abs(west - start.col) % 2;
+    const int sr = south + std::abs(south - start.row) % 2;
+    const int er = east + std::abs(east - start.col) % 2;
+
+    const Coord nw{nr, wr};
+    const Coord ne{nr, er};
+    const Coord se{sr, er};
+    const Coord sw{sr, wr};
+
+    plan.positions.push_back(start);
+    // Approach the ring: go to the NW corner (row first, then col).
+    appendWalk(plan.positions, start, Coord{nw.row, start.col});
+    appendWalk(plan.positions, Coord{nw.row, start.col}, nw);
+    // Circle the target.
+    appendWalk(plan.positions, nw, ne);
+    appendWalk(plan.positions, ne, se);
+    appendWalk(plan.positions, se, sw);
+    appendWalk(plan.positions, sw, nw);
+    // Return home.
+    appendWalk(plan.positions, nw, Coord{nw.row, start.col});
+    appendWalk(plan.positions, Coord{nw.row, start.col}, start);
+
+    // Reject plans that leave the lattice.
+    for (const Coord pos : plan.positions)
+        if (!squareFits(pos, moving.size))
+            return BraidPlan{};
+    return plan;
+}
+
+bool
+BraidPlanner::validate(const BraidPlan &plan, std::size_t moving_size,
+                       const std::vector<MaskSquare> &obstacles) const
+{
+    if (plan.positions.empty())
+        return false;
+    for (std::size_t i = 0; i < plan.positions.size(); ++i) {
+        const Coord pos = plan.positions[i];
+        if (!squareFits(pos, moving_size))
+            return false;
+        // Steps must be single +-2 axis moves.
+        if (i > 0) {
+            const Coord prev = plan.positions[i - 1];
+            const int dr = std::abs(pos.row - prev.row);
+            const int dc = std::abs(pos.col - prev.col);
+            if (!((dr == 2 && dc == 0) || (dr == 0 && dc == 2)))
+                return false;
+        }
+        const MaskSquare here{pos, moving_size};
+        for (const MaskSquare &obstacle : obstacles)
+            if (squaresConflict(here, obstacle))
+                return false;
+    }
+    return true;
+}
+
+} // namespace quest::qecc

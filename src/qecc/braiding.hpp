@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Defect braiding (paper Section 5.1, Figure 12c).
+ *
+ * A logical CNOT between two defect-encoded qubits is performed by
+ * *braiding*: one defect of the control qubit travels a closed loop
+ * around a defect of the target qubit, dragged by a sequence of
+ * mask updates (extend the masked region ahead of the defect,
+ * contract it behind), with d QECC rounds between steps to keep the
+ * code protected while the boundary moves.
+ *
+ * The BraidPlanner computes that loop at mask granularity: a
+ * rectangular circuit of defect positions around the target with
+ * one ring of clearance, stepping two lattice sites at a time so
+ * the defect stays aligned with the check sublattice. The MCE
+ * executes the plan step by step (see core::Mce::braidCnot).
+ */
+
+#ifndef QUEST_QECC_BRAIDING_HPP
+#define QUEST_QECC_BRAIDING_HPP
+
+#include <vector>
+
+#include "logical_mask.hpp"
+
+namespace quest::qecc {
+
+/** A braid plan: successive top-left positions for the defect. */
+struct BraidPlan
+{
+    /** Positions the moving defect occupies, in order; the first
+     *  equals the defect's starting position and the last returns
+     *  to it. */
+    std::vector<Coord> positions;
+
+    std::size_t steps() const
+    {
+        return positions.empty() ? 0 : positions.size() - 1;
+    }
+};
+
+/** Plans defect loops for braided logical CNOTs. */
+class BraidPlanner
+{
+  public:
+    explicit BraidPlanner(const Lattice &lattice)
+        : _lattice(&lattice)
+    {}
+
+    /**
+     * Plan a loop for `moving` (the control's defect) around
+     * `around` (the target's defect).
+     *
+     * The loop leaves the start position, reaches the clearance
+     * ring around the target, circles it once and returns. All
+     * motion is in steps of two lattice sites along one axis.
+     *
+     * @return the plan; empty when no on-lattice loop exists.
+     */
+    BraidPlan planLoop(const MaskSquare &moving,
+                       const MaskSquare &around) const;
+
+    /**
+     * Check a plan: every position keeps the moving square (plus
+     * its one-site masked perimeter) on the lattice and clear of
+     * every square in `obstacles`.
+     */
+    bool validate(const BraidPlan &plan, std::size_t moving_size,
+                  const std::vector<MaskSquare> &obstacles) const;
+
+  private:
+    const Lattice *_lattice;
+
+    /** Append an axis-aligned walk from `from` to `to` in +-2 hops. */
+    static void appendWalk(std::vector<Coord> &path, Coord from,
+                           Coord to);
+
+    bool squareFits(Coord top_left, std::size_t size) const;
+};
+
+/** @return true when two squares overlap or touch (no clearance). */
+bool squaresConflict(const MaskSquare &a, const MaskSquare &b);
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_BRAIDING_HPP

@@ -1,0 +1,68 @@
+#include "concatenation.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+std::size_t
+ConcatenationModel::levelsNeeded(double p, double target) const
+{
+    QUEST_ASSERT(p > 0.0 && p < 1.0, "error rate %g out of range", p);
+    QUEST_ASSERT(target > 0.0, "target must be positive");
+    QUEST_ASSERT(p < _spec.threshold,
+                 "physical rate %g at or above the concatenation "
+                 "threshold %g", p, _spec.threshold);
+    double eps = p;
+    std::size_t levels = 0;
+    // Tolerate one part in 1e9 so exact-power-of-ten targets are
+    // not missed by floating-point rounding.
+    while (eps > target * (1.0 + 1e-9)) {
+        eps = _spec.levelError(eps);
+        ++levels;
+        QUEST_ASSERT(levels <= 16, "concatenation depth exploded");
+    }
+    return std::max<std::size_t>(levels, 1);
+}
+
+double
+ConcatenationModel::outputError(double p, std::size_t levels) const
+{
+    double eps = p;
+    for (std::size_t l = 0; l < levels; ++l)
+        eps = _spec.levelError(eps);
+    return eps;
+}
+
+ConcatenationPlan
+ConcatenationModel::plan(double p, double target,
+                         std::size_t hardware_levels) const
+{
+    ConcatenationPlan out;
+    out.levels = levelsNeeded(p, target);
+    out.outputError = outputError(p, out.levels);
+    out.physicalQubitsPerLogical =
+        std::pow(double(_spec.blockSize), double(out.levels));
+
+    // Every level runs EC continuously over its qubits. Level l
+    // (1-indexed) spans blockSize^(levels - l + 1) qubits of the
+    // level below and cycles slower by cycleSlowdown^(l-1).
+    double software = 0.0;
+    double hybrid = 0.0;
+    for (std::size_t l = 1; l <= out.levels; ++l) {
+        const double qubits_below = std::pow(
+            double(_spec.blockSize), double(out.levels - l + 1));
+        const double rate = double(_spec.uopsPerQubitPerCycle)
+            / std::pow(_spec.cycleSlowdown, double(l - 1));
+        const double instr = qubits_below * rate;
+        software += instr;
+        if (l > hardware_levels)
+            hybrid += instr;
+    }
+    out.softwareInstrPerCycle = software;
+    out.hybridInstrPerCycle = hybrid;
+    return out;
+}
+
+} // namespace quest::qecc

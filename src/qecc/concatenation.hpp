@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Concatenated-code support (paper Section 9).
+ *
+ * "QuEST can work with concatenation codes where the first level
+ * (inner code) is handled by microcode and higher level (outer
+ * code) concatenations can be handled by software."
+ *
+ * This module models that split for Steane's [[7,1,3]] code. Under
+ * concatenation, a level-L logical qubit is built from 7 level-
+ * (L-1) qubits, the logical error rate squares per level
+ * (p_{l+1} = c * p_l^2 below threshold), and each level runs its
+ * own error-correction cycle -- the inner level at the physical
+ * gate rate, every outer level a constant factor slower because its
+ * "gates" are fault-tolerant operations on the level below.
+ *
+ * Instruction-delivery consequences:
+ *  - all-software: every physical qubit at the innermost level
+ *    consumes EC instructions at the physical rate (the baseline).
+ *  - hybrid (QuEST): the microcode replays the level-1 EC cycle,
+ *    so software only delivers instructions for level >= 2 blocks,
+ *    which are 7x fewer and cycle slower by the level-1 EC factor.
+ */
+
+#ifndef QUEST_QECC_CONCATENATION_HPP
+#define QUEST_QECC_CONCATENATION_HPP
+
+#include <cstdint>
+
+namespace quest::qecc {
+
+/** Parameters of the concatenated [[7,1,3]] (Steane) code. */
+struct ConcatenationSpec
+{
+    std::size_t blockSize = 7;    ///< physical qubits per block
+    double threshold = 1e-4;      ///< concatenation threshold
+    /** EC instructions per qubit per cycle at one level (syndrome
+     *  extraction for both X and Z generators of [[7,1,3]]). */
+    std::size_t uopsPerQubitPerCycle = 12;
+    /** Slowdown of each outer level's EC cycle relative to the
+     *  level below it (fault-tolerant gate depth). */
+    double cycleSlowdown = 10.0;
+
+    /** Logical error rate after one level on inputs of rate p. */
+    double
+    levelError(double p) const
+    {
+        return (p / threshold) * p; // c * p^2 with c = 1/threshold
+    }
+};
+
+/** Resource summary for a concatenated configuration. */
+struct ConcatenationPlan
+{
+    std::size_t levels = 1;
+    double outputError = 0.0;
+    double physicalQubitsPerLogical = 7;
+    /** EC instruction rate per logical qubit, instructions per
+     *  physical-cycle, software-managed everything. */
+    double softwareInstrPerCycle = 0;
+    /** Same, with level-1 EC in QuEST microcode (only levels >= 2
+     *  are software's problem). */
+    double hybridInstrPerCycle = 0;
+
+    double
+    savings() const
+    {
+        return hybridInstrPerCycle > 0
+            ? softwareInstrPerCycle / hybridInstrPerCycle
+            : softwareInstrPerCycle; // all levels in hardware
+    }
+};
+
+/** Analytical model of the hardware/software concatenation split. */
+class ConcatenationModel
+{
+  public:
+    explicit ConcatenationModel(
+        ConcatenationSpec spec = ConcatenationSpec{})
+        : _spec(spec)
+    {}
+
+    const ConcatenationSpec &spec() const { return _spec; }
+
+    /** Levels needed to reach `target` from physical rate `p`. */
+    std::size_t levelsNeeded(double p, double target) const;
+
+    /** Error rate after `levels` levels. */
+    double outputError(double p, std::size_t levels) const;
+
+    /**
+     * Full plan: qubit overhead and the software-vs-hybrid EC
+     * instruction rates per logical qubit.
+     * @param hardware_levels How many inner levels the microcode
+     *        absorbs (the paper's proposal is 1).
+     */
+    ConcatenationPlan plan(double p, double target,
+                           std::size_t hardware_levels = 1) const;
+
+  private:
+    ConcatenationSpec _spec;
+};
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_CONCATENATION_HPP

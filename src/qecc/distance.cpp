@@ -1,0 +1,57 @@
+#include "distance.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+double
+logicalErrorPerRound(double p, std::size_t d)
+{
+    QUEST_ASSERT(p > 0.0 && p < 1.0, "error rate %g out of range", p);
+    QUEST_ASSERT(d >= 2, "distance must be at least 2");
+    const double ratio = p / surfaceCodeThreshold;
+    const double exponent = std::ceil(double(d) / 2.0);
+    return logicalErrorPrefactor * std::pow(ratio, exponent);
+}
+
+std::size_t
+chooseDistance(double p, double rounds, double logical_qubits,
+               double failure_budget)
+{
+    QUEST_ASSERT(p < surfaceCodeThreshold,
+                 "physical error rate %g is above threshold %g",
+                 p, surfaceCodeThreshold);
+    QUEST_ASSERT(rounds > 0 && logical_qubits > 0,
+                 "rounds and qubit count must be positive");
+
+    for (std::size_t d = 3; d <= 101; d += 2) {
+        const double p_fail =
+            logicalErrorPerRound(p, d) * rounds * logical_qubits;
+        if (p_fail < failure_budget)
+            return d;
+    }
+    sim::fatal("no code distance <= 101 meets the failure budget "
+               "(p=%g, rounds=%g, qubits=%g)", p, rounds, logical_qubits);
+}
+
+double
+fowlerQubitsPerLogical(std::size_t d)
+{
+    return 12.5 * double(d) * double(d);
+}
+
+double
+qureQubitsPerLogical(std::size_t d)
+{
+    return 7.0 * double(d) * 3.0 * double(d);
+}
+
+std::size_t
+correctableErrors(std::size_t d)
+{
+    return (d - 1) / 2;
+}
+
+} // namespace quest::qecc

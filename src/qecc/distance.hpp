@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Code-distance selection and physical-resource arithmetic.
+ *
+ * Follows the standard surface-code scaling the paper builds on
+ * (Fowler et al., Appendix M): the logical error rate per round of
+ * a distance-d code under physical error rate p is
+ *
+ *     P_L(p, d) ~= A * (p / p_th)^ceil(d/2)
+ *
+ * with threshold p_th ~= 1e-2 and prefactor A ~= 0.03. Distance
+ * selection inverts this to meet a target logical failure budget
+ * over a whole computation.
+ *
+ * Two physical-qubit overhead models are provided:
+ *  - fowlerQubitsPerLogical: 12.5 d^2 (double-defect qubit,
+ *    Appendix M, quoted in Section 5.1), and
+ *  - qureQubitsPerLogical: the 7d x 3d patch the paper's QuRE-based
+ *    evaluation uses (Section 6.2).
+ */
+
+#ifndef QUEST_QECC_DISTANCE_HPP
+#define QUEST_QECC_DISTANCE_HPP
+
+#include <cstdint>
+
+namespace quest::qecc {
+
+/** Surface-code threshold error rate. */
+inline constexpr double surfaceCodeThreshold = 1e-2;
+
+/** Logical error prefactor. */
+inline constexpr double logicalErrorPrefactor = 0.03;
+
+/**
+ * Logical error rate per QECC round for a distance-d code.
+ * @param p Physical error rate per round (must be below threshold
+ *          for the code to help).
+ */
+double logicalErrorPerRound(double p, std::size_t d);
+
+/**
+ * Smallest (odd) code distance whose per-round logical error rate
+ * times `rounds` stays below `failure_budget` across
+ * `logical_qubits` qubits.
+ */
+std::size_t chooseDistance(double p, double rounds,
+                           double logical_qubits,
+                           double failure_budget = 0.5);
+
+/** Physical qubits per logical qubit, double-defect model. */
+double fowlerQubitsPerLogical(std::size_t d);
+
+/** Physical qubits per logical qubit, QuRE 7d x 3d patch model. */
+double qureQubitsPerLogical(std::size_t d);
+
+/** Number of correctable errors per round: floor((d-1)/2). */
+std::size_t correctableErrors(std::size_t d);
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_DISTANCE_HPP

@@ -1,0 +1,220 @@
+#include "extractor.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+using isa::PhysOpcode;
+using quantum::ErrorChannel;
+using quantum::PauliFrame;
+using quantum::Tableau;
+
+bool
+SyndromeRound::any() const
+{
+    return weight() != 0;
+}
+
+std::size_t
+SyndromeRound::weight() const
+{
+    std::size_t w = 0;
+    for (auto f : xFlips)
+        w += f;
+    for (auto f : zFlips)
+        w += f;
+    return w;
+}
+
+SyndromeExtractor::SyndromeExtractor(const RoundSchedule &schedule)
+    : _schedule(&schedule)
+{
+    const Lattice &lat = schedule.lattice();
+    _xAncillas = lat.sites(SiteType::XAncilla);
+    _zAncillas = lat.sites(SiteType::ZAncilla);
+    for (const Coord c : lat.sites(SiteType::Data))
+        _dataIndices.push_back(lat.index(c));
+    _syndromeSlot.assign(lat.numQubits(), -1);
+    for (std::size_t i = 0; i < _xAncillas.size(); ++i)
+        _syndromeSlot[lat.index(_xAncillas[i])] = int(i);
+    for (std::size_t i = 0; i < _zAncillas.size(); ++i)
+        _syndromeSlot[lat.index(_zAncillas[i])] = int(i);
+    QUEST_ASSERT(validateSchedule(schedule), "malformed round schedule");
+}
+
+SyndromeRound
+SyndromeExtractor::runRound(PauliFrame &frame, ErrorChannel *channel) const
+{
+    const Lattice &lat = _schedule->lattice();
+    SyndromeRound out;
+    out.xFlips.assign(_xAncillas.size(), 0);
+    out.zFlips.assign(_zAncillas.size(), 0);
+
+    // Idle decoherence: one per-data-qubit channel per round.
+    if (channel) {
+        for (std::size_t q : _dataIndices)
+            channel->idle(frame, q);
+    }
+
+    for (std::size_t s = 0; s < _schedule->depth(); ++s) {
+        const SubCycle &sc = _schedule->subCycle(s);
+        for (std::size_t q = 0; q < sc.uops.size(); ++q) {
+            const PhysOpcode op = sc.uops[q];
+            switch (op) {
+              case PhysOpcode::Nop:
+              case PhysOpcode::Hadamard: // timing-only dressing slot
+              case PhysOpcode::Phase:
+              case PhysOpcode::Verify:   // classical cat-state check
+                break;
+
+              case PhysOpcode::PrepZ:
+                frame.reset(q);
+                if (channel)
+                    channel->afterPrep(frame, q);
+                break;
+
+              case PhysOpcode::PrepX:
+                frame.reset(q);
+                frame.h(q);
+                if (channel)
+                    channel->afterPrep(frame, q);
+                break;
+
+              case PhysOpcode::CnotN:
+              case PhysOpcode::CnotE:
+              case PhysOpcode::CnotS:
+              case PhysOpcode::CnotW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                const std::size_t partner = lat.index(*n);
+                frame.cnot(q, partner);
+                if (channel)
+                    channel->afterGate2(frame, q, partner);
+                break;
+              }
+
+              case PhysOpcode::CnotTargetN:
+              case PhysOpcode::CnotTargetE:
+              case PhysOpcode::CnotTargetS:
+              case PhysOpcode::CnotTargetW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                const std::size_t partner = lat.index(*n);
+                frame.cnot(partner, q);
+                if (channel)
+                    channel->afterGate2(frame, partner, q);
+                break;
+              }
+
+              case PhysOpcode::MeasX:
+                frame.h(q);
+                [[fallthrough]];
+              case PhysOpcode::MeasZ: {
+                bool flip = frame.measureZFlip(q);
+                if (channel && channel->measurementFlip())
+                    flip = !flip;
+                const int slot = _syndromeSlot[q];
+                QUEST_ASSERT(slot >= 0, "measurement on non-ancilla %zu",
+                             q);
+                if (lat.siteType(lat.coord(q)) == SiteType::XAncilla)
+                    out.xFlips[std::size_t(slot)] = flip ? 1 : 0;
+                else
+                    out.zFlips[std::size_t(slot)] = flip ? 1 : 0;
+                break;
+              }
+
+              case PhysOpcode::NumOpcodes:
+                sim::panic("invalid opcode in schedule");
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<SyndromeRound>
+SyndromeExtractor::runRounds(PauliFrame &frame, ErrorChannel *channel,
+                             std::size_t rounds) const
+{
+    std::vector<SyndromeRound> history;
+    history.reserve(rounds);
+    for (std::size_t r = 0; r < rounds; ++r)
+        history.push_back(runRound(frame, channel));
+    return history;
+}
+
+SyndromeRound
+runRoundOnTableau(const RoundSchedule &schedule, Tableau &tableau,
+                  sim::Rng &rng)
+{
+    const Lattice &lat = schedule.lattice();
+    QUEST_ASSERT(tableau.numQubits() == lat.numQubits(),
+                 "tableau size %zu does not match lattice size %zu",
+                 tableau.numQubits(), lat.numQubits());
+
+    const auto x_anc = lat.sites(SiteType::XAncilla);
+    const auto z_anc = lat.sites(SiteType::ZAncilla);
+    SyndromeRound out;
+    out.xFlips.assign(x_anc.size(), 0);
+    out.zFlips.assign(z_anc.size(), 0);
+
+    for (std::size_t s = 0; s < schedule.depth(); ++s) {
+        const SubCycle &sc = schedule.subCycle(s);
+        for (std::size_t q = 0; q < sc.uops.size(); ++q) {
+            const PhysOpcode op = sc.uops[q];
+            switch (op) {
+              case PhysOpcode::Nop:
+              case PhysOpcode::Hadamard:
+              case PhysOpcode::Phase:
+              case PhysOpcode::Verify:
+                break;
+              case PhysOpcode::PrepZ:
+                tableau.reset(q, rng);
+                break;
+              case PhysOpcode::PrepX:
+                tableau.reset(q, rng);
+                tableau.h(q);
+                break;
+              case PhysOpcode::CnotN:
+              case PhysOpcode::CnotE:
+              case PhysOpcode::CnotS:
+              case PhysOpcode::CnotW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                tableau.cnot(q, lat.index(*n));
+                break;
+              }
+              case PhysOpcode::CnotTargetN:
+              case PhysOpcode::CnotTargetE:
+              case PhysOpcode::CnotTargetS:
+              case PhysOpcode::CnotTargetW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                tableau.cnot(lat.index(*n), q);
+                break;
+              }
+              case PhysOpcode::MeasX:
+                tableau.h(q);
+                [[fallthrough]];
+              case PhysOpcode::MeasZ: {
+                const bool outcome = tableau.measureZ(q, rng);
+                const Coord c = lat.coord(q);
+                if (lat.siteType(c) == SiteType::XAncilla) {
+                    for (std::size_t i = 0; i < x_anc.size(); ++i)
+                        if (x_anc[i] == c)
+                            out.xFlips[i] = outcome ? 1 : 0;
+                } else {
+                    for (std::size_t i = 0; i < z_anc.size(); ++i)
+                        if (z_anc[i] == c)
+                            out.zFlips[i] = outcome ? 1 : 0;
+                }
+                break;
+              }
+              case PhysOpcode::NumOpcodes:
+                sim::panic("invalid opcode in schedule");
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace quest::qecc

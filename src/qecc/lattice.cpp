@@ -1,0 +1,87 @@
+#include "lattice.hpp"
+
+namespace quest::qecc {
+
+Lattice::Lattice(std::size_t rows, std::size_t cols)
+    : _rows(rows), _cols(cols)
+{
+    QUEST_ASSERT(rows >= 3 && cols >= 3,
+                 "lattice must be at least 3x3 (got %zux%zu)", rows, cols);
+}
+
+SiteType
+Lattice::siteType(Coord c) const
+{
+    QUEST_ASSERT(contains(c), "coordinate (%d,%d) off lattice",
+                 c.row, c.col);
+    // Planar-code checkerboard: data qubits occupy sites whose row
+    // and column share parity; X ancillas sit at (even row, odd col)
+    // and Z ancillas at (odd row, even col). A (2d-1) x (2d-1) grid
+    // then encodes exactly one logical qubit with distance-d logical
+    // operators along the top row (Z) and left column (X).
+    const bool row_odd = (c.row & 1) != 0;
+    const bool col_odd = (c.col & 1) != 0;
+    if (row_odd == col_odd)
+        return SiteType::Data;
+    return row_odd ? SiteType::ZAncilla : SiteType::XAncilla;
+}
+
+std::vector<Coord>
+Lattice::stabilizerSupport(Coord ancilla) const
+{
+    QUEST_ASSERT(isAncilla(ancilla),
+                 "(%d,%d) is not an ancilla", ancilla.row, ancilla.col);
+    std::vector<Coord> out;
+    for (Direction dir : allDirections) {
+        if (auto n = neighbour(ancilla, dir)) {
+            if (isData(*n))
+                out.push_back(*n);
+        }
+    }
+    return out;
+}
+
+std::vector<Coord>
+Lattice::sites(SiteType type) const
+{
+    std::vector<Coord> out;
+    for (std::size_t r = 0; r < _rows; ++r) {
+        for (std::size_t c = 0; c < _cols; ++c) {
+            const Coord coord{int(r), int(c)};
+            if (siteType(coord) == type)
+                out.push_back(coord);
+        }
+    }
+    return out;
+}
+
+std::vector<Coord>
+Lattice::logicalXSupport() const
+{
+    std::vector<Coord> out;
+    for (std::size_t r = 0; r < _rows; r += 2)
+        out.push_back(Coord{int(r), 0});
+    return out;
+}
+
+std::vector<Coord>
+Lattice::logicalZSupport() const
+{
+    std::vector<Coord> out;
+    for (std::size_t c = 0; c < _cols; c += 2)
+        out.push_back(Coord{0, int(c)});
+    return out;
+}
+
+std::size_t
+Lattice::countSites(SiteType type) const
+{
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < _rows; ++r)
+        for (std::size_t c = 0; c < _cols; ++c)
+            if (siteType(Coord{int(r), int(c)}) == type)
+                ++n;
+    return n;
+}
+
+} // namespace quest::qecc

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Surface-code lattice geometry (paper Appendix A, Figure 17).
+ *
+ * The planar surface code lives on a rectangular grid of physical
+ * qubits arranged as a checkerboard: data qubits occupy sites whose
+ * row and column parities agree, X ancillas sit at (even row, odd
+ * col) and Z ancillas at (odd row, even col). Every ancilla measures
+ * the parity of its (up to) four data neighbours. A (2d-1) x (2d-1)
+ * grid encodes one logical qubit of distance d, with the logical Z
+ * operator along the top data row and the logical X operator along
+ * the left data column. The 5x5 unit cell of Figure 17 is the
+ * spatially-repeating tile of this lattice.
+ */
+
+#ifndef QUEST_QECC_LATTICE_HPP
+#define QUEST_QECC_LATTICE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+/** Role of a lattice site. */
+enum class SiteType : std::uint8_t
+{
+    Data,     ///< holds encoded quantum information
+    XAncilla, ///< measures a bit-flip (X) syndrome
+    ZAncilla, ///< measures a phase-flip (Z) syndrome
+};
+
+/** Compass directions used by the direction-coded CNOT micro-ops. */
+enum class Direction : std::uint8_t { North, East, South, West };
+
+inline constexpr Direction allDirections[] = {
+    Direction::North, Direction::East, Direction::South, Direction::West,
+};
+
+/** A (row, col) lattice coordinate. */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+
+    bool operator==(const Coord &other) const = default;
+
+    Coord
+    step(Direction dir) const
+    {
+        switch (dir) {
+          case Direction::North: return Coord{row - 1, col};
+          case Direction::East: return Coord{row, col + 1};
+          case Direction::South: return Coord{row + 1, col};
+          case Direction::West: return Coord{row, col - 1};
+        }
+        sim::panic("invalid direction %d", int(dir));
+    }
+};
+
+/** A rectangular surface-code lattice. */
+class Lattice
+{
+  public:
+    /**
+     * @param rows, cols Grid dimensions (both >= 3 for a useful code).
+     */
+    Lattice(std::size_t rows, std::size_t cols);
+
+    /**
+     * The standard lattice for a distance-d code: a (2d-1) x (2d-1)
+     * grid supports d-qubit logical operators along each boundary.
+     */
+    static Lattice
+    forDistance(std::size_t d)
+    {
+        QUEST_ASSERT(d >= 2, "distance must be at least 2");
+        return Lattice(2 * d - 1, 2 * d - 1);
+    }
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    std::size_t numQubits() const { return _rows * _cols; }
+
+    /** @return true when the coordinate lies on the grid. */
+    bool
+    contains(Coord c) const
+    {
+        return c.row >= 0 && c.col >= 0
+            && std::size_t(c.row) < _rows && std::size_t(c.col) < _cols;
+    }
+
+    /** Linear qubit index of a coordinate. */
+    std::size_t
+    index(Coord c) const
+    {
+        QUEST_ASSERT(contains(c), "coordinate (%d,%d) off lattice",
+                     c.row, c.col);
+        return std::size_t(c.row) * _cols + std::size_t(c.col);
+    }
+
+    /** Coordinate of a linear qubit index. */
+    Coord
+    coord(std::size_t idx) const
+    {
+        QUEST_ASSERT(idx < numQubits(), "index %zu off lattice", idx);
+        return Coord{int(idx / _cols), int(idx % _cols)};
+    }
+
+    /** Role of the site at a coordinate. */
+    SiteType siteType(Coord c) const;
+
+    bool isData(Coord c) const { return siteType(c) == SiteType::Data; }
+
+    bool
+    isAncilla(Coord c) const
+    {
+        return siteType(c) != SiteType::Data;
+    }
+
+    /** Neighbour coordinate in the given direction, if on-grid. */
+    std::optional<Coord>
+    neighbour(Coord c, Direction dir) const
+    {
+        const Coord n = c.step(dir);
+        if (!contains(n))
+            return std::nullopt;
+        return n;
+    }
+
+    /** Data-qubit neighbours of an ancilla (its stabilizer support). */
+    std::vector<Coord> stabilizerSupport(Coord ancilla) const;
+
+    /** All coordinates of a given site type, row-major order. */
+    std::vector<Coord> sites(SiteType type) const;
+
+    /** Counts per site type. */
+    std::size_t countSites(SiteType type) const;
+
+    /**
+     * Support of the logical X operator (data qubits down the left
+     * column). Only meaningful for square (2d-1) x (2d-1) lattices.
+     */
+    std::vector<Coord> logicalXSupport() const;
+
+    /** Support of the logical Z operator (top data row). */
+    std::vector<Coord> logicalZSupport() const;
+
+  private:
+    std::size_t _rows;
+    std::size_t _cols;
+};
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_LATTICE_HPP

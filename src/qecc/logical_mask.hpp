@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Logical qubit masks (paper Section 5.1, Figure 12).
+ *
+ * A defect-based logical qubit is created by *masking* (disabling)
+ * syndrome generation for the ancillas inside and on the perimeter
+ * of two square regions of the lattice. Mask instructions move,
+ * expand and contract these boundaries; braiding a boundary around
+ * another implements a logical CNOT.
+ *
+ * The MaskRegion here is the geometric object; the hardware mask
+ * table that gates micro-op selection per qubit lives in src/core.
+ */
+
+#ifndef QUEST_QECC_LOGICAL_MASK_HPP
+#define QUEST_QECC_LOGICAL_MASK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice.hpp"
+
+namespace quest::qecc {
+
+/** A rectangular masked region (half of a double-defect qubit). */
+struct MaskSquare
+{
+    Coord topLeft;
+    std::size_t size = 0; ///< side length in lattice sites
+
+    bool
+    contains(Coord c) const
+    {
+        return c.row >= topLeft.row && c.col >= topLeft.col
+            && c.row < topLeft.row + int(size)
+            && c.col < topLeft.col + int(size);
+    }
+};
+
+/** A double-defect logical qubit: two masked squares. */
+class LogicalQubit
+{
+  public:
+    /**
+     * Place a logical qubit of code distance d with its first
+     * defect's top-left corner at `anchor`. The two defects are
+     * separated by d data-qubit columns, per Section 5.1.
+     */
+    LogicalQubit(const Lattice &lattice, Coord anchor, std::size_t d);
+
+    std::size_t distance() const { return _d; }
+    const MaskSquare &defectA() const { return _a; }
+    const MaskSquare &defectB() const { return _b; }
+
+    /** @return true when the whole footprint lies on the lattice. */
+    bool fits() const;
+
+    /**
+     * Ancilla qubit indices whose syndrome generation must be
+     * disabled (interior and perimeter of both squares).
+     */
+    std::vector<std::size_t> maskedAncillas() const;
+
+    /** All lattice indices covered by the two defects. */
+    std::vector<std::size_t> footprint() const;
+
+    /** Move both defects by (d_row, d_col) lattice sites. */
+    void move(int d_row, int d_col);
+
+    /** Grow defect A by `amount` sites on each side (braiding step). */
+    void expandA(std::size_t amount);
+
+    /** Shrink defect A by `amount` sites on each side. */
+    void contractA(std::size_t amount);
+
+    /**
+     * Replace defect A wholesale (used by the braid executor to
+     * drag the defect along a planned path).
+     */
+    void
+    setDefectA(const MaskSquare &square)
+    {
+        _a = square;
+    }
+
+  private:
+    const Lattice *_lattice;
+    std::size_t _d;
+    MaskSquare _a;
+    MaskSquare _b;
+};
+
+/**
+ * Full-resolution mask: one bit per qubit (capacity O(N)).
+ */
+class FullMask
+{
+  public:
+    explicit FullMask(const Lattice &lattice)
+        : _bits(lattice.numQubits(), 0)
+    {}
+
+    std::size_t sizeBits() const { return _bits.size(); }
+    bool masked(std::size_t q) const { return _bits.at(q) != 0; }
+    void set(std::size_t q, bool v) { _bits.at(q) = v ? 1 : 0; }
+
+    void apply(const LogicalQubit &lq, bool masked_value);
+
+    /** Unmask every qubit. */
+    void clear();
+
+    std::size_t maskedCount() const;
+
+  private:
+    std::vector<std::uint8_t> _bits;
+};
+
+/**
+ * Coalesced mask (Section 4.5): one bit per d x d tile of qubits,
+ * reducing the mask-table capacity from N to N / d^2 bits. The
+ * trade-off is granularity: a tile is masked when any logical
+ * defect overlaps it, so defect geometry must be tile-aligned for
+ * exact equivalence with FullMask.
+ */
+class CoalescedMask
+{
+  public:
+    CoalescedMask(const Lattice &lattice, std::size_t d);
+
+    std::size_t sizeBits() const { return _bits.size(); }
+    std::size_t tileSize() const { return _d; }
+
+    /** Tile index of a qubit. */
+    std::size_t tileOf(std::size_t q) const;
+
+    bool masked(std::size_t q) const { return _bits.at(tileOf(q)) != 0; }
+    void setTile(std::size_t tile, bool v) { _bits.at(tile) = v ? 1 : 0; }
+
+    /** Mask every tile any defect of the logical qubit overlaps. */
+    void apply(const LogicalQubit &lq, bool masked_value);
+
+    /** Unmask every tile. */
+    void clear();
+
+    std::size_t maskedTileCount() const;
+
+  private:
+    const Lattice *_lattice;
+    std::size_t _d;
+    std::size_t _tileCols;
+    std::vector<std::uint8_t> _bits;
+};
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_LOGICAL_MASK_HPP

@@ -1,0 +1,94 @@
+#include "protocol.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::qecc {
+
+sim::Tick
+ProtocolSpec::roundDuration(const tech::GateLatencies &lat) const
+{
+    sim::Tick total = 0;
+    for (StepClass step : steps) {
+        switch (step) {
+          case StepClass::Idle: total += lat.t1; break;
+          case StepClass::Prep: total += lat.tPrep; break;
+          case StepClass::Gate1: total += lat.t1; break;
+          case StepClass::Cnot: total += lat.tCnot; break;
+          case StepClass::Meas: total += lat.tMeas; break;
+        }
+    }
+    return total;
+}
+
+namespace {
+
+using SC = StepClass;
+
+const ProtocolSpec steaneSpec = {
+    Protocol::Steane,
+    "Steane",
+    9,   // uops per qubit per round
+    25,  // 5x5 unit cell (Figure 17)
+    148, // stored unit-cell program (Table 2)
+    12,  // opcodes: NOP, PREP_Z/X, MEAS_Z/X, H, CNOT x4, CNOTT, S
+    // Canonical circuit: idle, prepare ancilla, four CNOTs, measure.
+    // Sum of latencies == Table 1 T_ecc for every technology.
+    { SC::Idle, SC::Prep, SC::Cnot, SC::Cnot, SC::Cnot, SC::Cnot,
+      SC::Meas },
+};
+
+const ProtocolSpec shorSpec = {
+    Protocol::Shor,
+    "Shor",
+    14,  // cat-state preparation and verification add steps
+    25,
+    300, // Table 2
+    14,  // adds VERIFY and cat-state preparation opcodes
+    // Cat-state prep (2 steps), verification CNOT + measurement,
+    // then the four syndrome CNOTs and the final measurement.
+    { SC::Idle, SC::Prep, SC::Prep, SC::Cnot, SC::Cnot, SC::Meas,
+      SC::Cnot, SC::Cnot, SC::Cnot, SC::Cnot, SC::Meas },
+};
+
+const ProtocolSpec sc17Spec = {
+    Protocol::SC17,
+    "SC-17",
+    8,
+    17,  // Tomita & Svore distance-3 design
+    136, // == 17 qubits x 8 uops (Table 2)
+    8,   // compact vocabulary: NOP, PREP, MEAS, H, CNOT x4
+    { SC::Prep, SC::Cnot, SC::Cnot, SC::Cnot, SC::Cnot, SC::Meas },
+};
+
+const ProtocolSpec sc13Spec = {
+    Protocol::SC13,
+    "SC-13",
+    11,
+    13,
+    147, // Table 2
+    10,  // CZ-based extraction needs H dressing opcodes
+    { SC::Prep, SC::Gate1, SC::Cnot, SC::Cnot, SC::Cnot, SC::Cnot,
+      SC::Gate1, SC::Meas },
+};
+
+} // namespace
+
+const ProtocolSpec &
+protocolSpec(Protocol p)
+{
+    switch (p) {
+      case Protocol::Steane: return steaneSpec;
+      case Protocol::Shor: return shorSpec;
+      case Protocol::SC17: return sc17Spec;
+      case Protocol::SC13: return sc13Spec;
+    }
+    sim::panic("invalid protocol %d", int(p));
+}
+
+std::string
+protocolName(Protocol p)
+{
+    return protocolSpec(p).name;
+}
+
+} // namespace quest::qecc

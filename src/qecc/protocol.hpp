@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Syndrome-extraction protocol catalog (Sections 4.4, 7; Table 2).
+ *
+ * A protocol fixes (a) the quantum circuit used to extract one round
+ * of error syndromes, and therefore the circuit depth and the round
+ * duration for a given gate-latency technology, (b) the size of the
+ * spatially-repeating unit cell, (c) the number of micro-ops in the
+ * unit-cell program that the unit-cell-optimized microcode memory
+ * must store, and (d) the micro-op opcode vocabulary (which sets the
+ * opcode field width).
+ *
+ * The four designs evaluated in the paper:
+ *  - Steane-style syndrome: 9 instructions per qubit per round.
+ *  - Shor-style (cat state + verification): 14 instructions.
+ *  - SC-17: Tomita & Svore's compact 17-qubit distance-3 design.
+ *  - SC-13: the 13-qubit variant.
+ */
+
+#ifndef QUEST_QECC_PROTOCOL_HPP
+#define QUEST_QECC_PROTOCOL_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "tech/parameters.hpp"
+
+namespace quest::qecc {
+
+/** Identifies one syndrome-extraction design. */
+enum class Protocol
+{
+    Steane,
+    Shor,
+    SC17,
+    SC13,
+};
+
+/** All protocols in Table-2 row order. */
+inline constexpr Protocol allProtocols[] = {
+    Protocol::Steane, Protocol::Shor, Protocol::SC17, Protocol::SC13,
+};
+
+/** Gate class of one sub-cycle (determines its duration). */
+enum class StepClass
+{
+    Idle,    ///< identity slot (single-qubit gate latency)
+    Prep,    ///< state preparation
+    Gate1,   ///< single-qubit gate (H, S)
+    Cnot,    ///< two-qubit interaction
+    Meas,    ///< measurement
+};
+
+/** Static description of a syndrome-extraction protocol. */
+struct ProtocolSpec
+{
+    Protocol id;
+    std::string name;
+
+    /** Micro-ops issued per qubit per QECC round (Section 4.4:
+     *  "approximately 9 to 14 instructions long"). */
+    std::size_t uopsPerQubit;
+
+    /** Qubits in the spatially-repeating unit cell. */
+    std::size_t unitCellQubits;
+
+    /** Micro-ops in the stored unit-cell program (Table 2). */
+    std::size_t unitCellUops;
+
+    /** Distinct micro-op opcodes the protocol needs. */
+    std::size_t opcodeCount;
+
+    /** Gate class of each pipeline sub-cycle, in execution order. */
+    std::vector<StepClass> steps;
+
+    /** Circuit depth (number of sub-cycles). */
+    std::size_t depth() const { return steps.size(); }
+
+    /**
+     * Duration of one QECC round for the given technology: the sum
+     * of the sub-cycle gate latencies. For the Steane-style circuit
+     * this reproduces the paper's Table-1 T_ecc column.
+     */
+    sim::Tick roundDuration(const tech::GateLatencies &lat) const;
+};
+
+/** Specification of a protocol. */
+const ProtocolSpec &protocolSpec(Protocol p);
+
+/** Protocol short name, e.g. "Steane" / "SC-17". */
+std::string protocolName(Protocol p);
+
+} // namespace quest::qecc
+
+#endif // QUEST_QECC_PROTOCOL_HPP

@@ -1,0 +1,31 @@
+#include "error_model.hpp"
+
+namespace quest::quantum {
+
+void
+ErrorChannel::depolarize1(PauliFrame &frame, std::size_t q, double p)
+{
+    if (!_rng->bernoulli(p))
+        return;
+    switch (_rng->uniformInt(3)) {
+      case 0: frame.injectX(q); break;
+      case 1: frame.injectY(q); break;
+      case 2: frame.injectZ(q); break;
+    }
+}
+
+void
+ErrorChannel::depolarize2(PauliFrame &frame, std::size_t a, std::size_t b,
+                          double p)
+{
+    if (!_rng->bernoulli(p))
+        return;
+    // Sample one of the 15 non-identity two-qubit Paulis.
+    const std::uint64_t k = _rng->uniformInt(15) + 1;
+    const auto pa = static_cast<Pauli>(k & 3u);
+    const auto pb = static_cast<Pauli>((k >> 2) & 3u);
+    frame.inject(a, pa);
+    frame.inject(b, pb);
+}
+
+} // namespace quest::quantum

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pauli error channels.
+ *
+ * Models the noise processes the paper assumes for superconducting
+ * qubits: depolarizing noise after gates, idle decoherence between
+ * QECC rounds, and classical measurement/preparation flips. Rates
+ * follow the paper's evaluation points (physical error rates of
+ * 1e-3, 1e-4 and 1e-5 per error correction cycle).
+ */
+
+#ifndef QUEST_QUANTUM_ERROR_MODEL_HPP
+#define QUEST_QUANTUM_ERROR_MODEL_HPP
+
+#include "pauli.hpp"
+#include "pauli_frame.hpp"
+#include "sim/random.hpp"
+
+namespace quest::quantum {
+
+/** Per-operation physical error probabilities. */
+struct ErrorRates
+{
+    double idle = 0.0;     ///< per-qubit error per QECC round while idle
+    double gate1 = 0.0;    ///< depolarizing rate after 1-qubit gates
+    double gate2 = 0.0;    ///< depolarizing rate after 2-qubit gates
+    double prep = 0.0;     ///< preparation flip probability
+    double meas = 0.0;     ///< measurement readout flip probability
+
+    /**
+     * Uniform model used throughout the paper's evaluation: a single
+     * physical error rate applied to every operation.
+     */
+    static ErrorRates
+    uniform(double p)
+    {
+        return ErrorRates{p, p, p, p, p};
+    }
+
+    /** Ideal (noise-free) execution. */
+    static ErrorRates none() { return ErrorRates{}; }
+};
+
+/** Samples Pauli errors into a PauliFrame. */
+class ErrorChannel
+{
+  public:
+    ErrorChannel(ErrorRates rates, sim::Rng &rng)
+        : _rates(rates), _rng(&rng)
+    {}
+
+    const ErrorRates &rates() const { return _rates; }
+
+    /** Uniform non-identity Pauli with probability p. */
+    void depolarize1(PauliFrame &frame, std::size_t q, double p);
+
+    /**
+     * Two-qubit depolarizing channel: one of the 15 non-identity
+     * two-qubit Paulis, each with probability p/15.
+     */
+    void depolarize2(PauliFrame &frame, std::size_t a, std::size_t b,
+                     double p);
+
+    /** @name Convenience wrappers using the configured rates. */
+    ///@{
+    void
+    afterGate1(PauliFrame &frame, std::size_t q)
+    {
+        depolarize1(frame, q, _rates.gate1);
+    }
+
+    void
+    afterGate2(PauliFrame &frame, std::size_t a, std::size_t b)
+    {
+        depolarize2(frame, a, b, _rates.gate2);
+    }
+
+    void
+    idle(PauliFrame &frame, std::size_t q)
+    {
+        depolarize1(frame, q, _rates.idle);
+    }
+
+    void
+    afterPrep(PauliFrame &frame, std::size_t q)
+    {
+        // A preparation error leaves the qubit flipped: an X error.
+        if (_rng->bernoulli(_rates.prep))
+            frame.injectX(q);
+    }
+
+    /** @return true when the readout value should be flipped. */
+    bool
+    measurementFlip()
+    {
+        return _rng->bernoulli(_rates.meas);
+    }
+    ///@}
+
+  private:
+    ErrorRates _rates;
+    sim::Rng *_rng;
+};
+
+} // namespace quest::quantum
+
+#endif // QUEST_QUANTUM_ERROR_MODEL_HPP

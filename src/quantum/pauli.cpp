@@ -1,0 +1,123 @@
+#include "pauli.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::quantum {
+
+char
+pauliChar(Pauli p)
+{
+    switch (p) {
+      case Pauli::I: return 'I';
+      case Pauli::X: return 'X';
+      case Pauli::Z: return 'Z';
+      case Pauli::Y: return 'Y';
+    }
+    sim::panic("invalid Pauli value %u", unsigned(p));
+}
+
+Pauli
+pauliFromChar(char c)
+{
+    switch (c) {
+      case 'I': case 'i': return Pauli::I;
+      case 'X': case 'x': return Pauli::X;
+      case 'Z': case 'z': return Pauli::Z;
+      case 'Y': case 'y': return Pauli::Y;
+      default:
+        sim::fatal("invalid Pauli character '%c'", c);
+    }
+}
+
+PauliString
+PauliString::fromString(const std::string &text)
+{
+    PauliString out;
+    std::size_t i = 0;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+        if (text[i] == '-')
+            out._phase = 2;
+        ++i;
+    }
+    for (; i < text.size(); ++i)
+        out._paulis.push_back(pauliFromChar(text[i]));
+    return out;
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t w = 0;
+    for (Pauli p : _paulis)
+        if (p != Pauli::I)
+            ++w;
+    return w;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    return weight() == 0;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    QUEST_ASSERT(size() == other.size(),
+                 "PauliString size mismatch (%zu vs %zu)",
+                 size(), other.size());
+    bool anticommute = false;
+    for (std::size_t q = 0; q < size(); ++q)
+        if (!commutes(_paulis[q], other._paulis[q]))
+            anticommute = !anticommute;
+    return !anticommute;
+}
+
+namespace {
+
+/**
+ * Phase exponent (in Z4) contributed by multiplying single-qubit
+ * Paulis a * b, e.g. X*Z = -iY contributes 3 (i^3 = -i).
+ */
+std::uint8_t
+productPhase(Pauli a, Pauli b)
+{
+    // Lookup indexed [a][b]; rows/cols in order I, X, Z, Y.
+    static constexpr std::uint8_t table[4][4] = {
+        // I  X  Z  Y
+        {  0, 0, 0, 0 }, // I *
+        {  0, 0, 3, 1 }, // X *  (X*Z=-iY, X*Y=iZ)
+        {  0, 1, 0, 3 }, // Z *  (Z*X=iY,  Z*Y=-iX)
+        {  0, 3, 1, 0 }, // Y *  (Y*X=-iZ, Y*Z=iX)
+    };
+    return table[static_cast<std::uint8_t>(a)][static_cast<std::uint8_t>(b)];
+}
+
+} // namespace
+
+PauliString &
+PauliString::operator*=(const PauliString &other)
+{
+    QUEST_ASSERT(size() == other.size(),
+                 "PauliString size mismatch (%zu vs %zu)",
+                 size(), other.size());
+    std::uint8_t phase = (_phase + other._phase) & 3u;
+    for (std::size_t q = 0; q < size(); ++q) {
+        phase = (phase + productPhase(_paulis[q], other._paulis[q])) & 3u;
+        _paulis[q] = _paulis[q] * other._paulis[q];
+    }
+    _phase = phase;
+    return *this;
+}
+
+std::string
+PauliString::toString() const
+{
+    static const char *prefixes[] = { "+", "+i", "-", "-i" };
+    std::string out = prefixes[_phase & 3u];
+    for (Pauli p : _paulis)
+        out += pauliChar(p);
+    return out;
+}
+
+} // namespace quest::quantum

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pauli operators and Pauli strings.
+ *
+ * The error processes the surface code corrects are (to excellent
+ * approximation) Pauli channels, and Clifford circuits map Pauli
+ * errors to Pauli errors. Almost all of the QECC substrate therefore
+ * works in the Pauli group: single-qubit Paulis {I, X, Y, Z} and
+ * n-qubit PauliStrings with a global phase in {+1, +i, -1, -i}.
+ */
+
+#ifndef QUEST_QUANTUM_PAULI_HPP
+#define QUEST_QUANTUM_PAULI_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quest::quantum {
+
+/**
+ * Single-qubit Pauli, encoded as (x bit, z bit):
+ * I = 00, X = 10, Z = 01, Y = 11.
+ */
+enum class Pauli : std::uint8_t
+{
+    I = 0,
+    X = 1,
+    Z = 2,
+    Y = 3,
+};
+
+/** @return the X component bit of a Pauli. */
+constexpr bool
+pauliX(Pauli p)
+{
+    return static_cast<std::uint8_t>(p) & 1u;
+}
+
+/** @return the Z component bit of a Pauli. */
+constexpr bool
+pauliZ(Pauli p)
+{
+    return (static_cast<std::uint8_t>(p) >> 1) & 1u;
+}
+
+/** Build a Pauli from its X and Z component bits. */
+constexpr Pauli
+makePauli(bool x, bool z)
+{
+    return static_cast<Pauli>((z ? 2u : 0u) | (x ? 1u : 0u));
+}
+
+/** Product of two single-qubit Paulis, ignoring phase. */
+constexpr Pauli
+operator*(Pauli a, Pauli b)
+{
+    return static_cast<Pauli>(static_cast<std::uint8_t>(a)
+                              ^ static_cast<std::uint8_t>(b));
+}
+
+/** @return true when the two Paulis commute. */
+constexpr bool
+commutes(Pauli a, Pauli b)
+{
+    // Two Paulis anticommute iff their symplectic product is odd.
+    const bool ax = pauliX(a), az = pauliZ(a);
+    const bool bx = pauliX(b), bz = pauliZ(b);
+    return ((ax && bz) == (az && bx));
+}
+
+/** Single-character name: I, X, Y or Z. */
+char pauliChar(Pauli p);
+
+/** Parse 'I'/'X'/'Y'/'Z' (throws SimError on anything else). */
+Pauli pauliFromChar(char c);
+
+/**
+ * An n-qubit Pauli operator with a phase exponent in Z4
+ * (phase = i^phaseExponent).
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** Identity on n qubits. */
+    explicit PauliString(std::size_t n) : _paulis(n, Pauli::I) {}
+
+    /** Parse from e.g. "+XIZ" or "XYZ" (optional +/- prefix). */
+    static PauliString fromString(const std::string &text);
+
+    std::size_t size() const { return _paulis.size(); }
+
+    Pauli at(std::size_t q) const { return _paulis.at(q); }
+    void set(std::size_t q, Pauli p) { _paulis.at(q) = p; }
+
+    /** Phase exponent k, meaning i^k overall phase. */
+    std::uint8_t phaseExponent() const { return _phase; }
+    void setPhaseExponent(std::uint8_t k) { _phase = k & 3u; }
+
+    /** Number of non-identity positions. */
+    std::size_t weight() const;
+
+    /** @return true when every position is the identity. */
+    bool isIdentity() const;
+
+    /** @return true when this commutes with the other operator. */
+    bool commutesWith(const PauliString &other) const;
+
+    /** In-place product: *this = *this * other (tracks phase). */
+    PauliString &operator*=(const PauliString &other);
+
+    PauliString
+    operator*(const PauliString &other) const
+    {
+        PauliString out = *this;
+        out *= other;
+        return out;
+    }
+
+    bool operator==(const PauliString &other) const = default;
+
+    /** e.g. "+XIZY" ("+i"/"-i" prefixes for imaginary phases). */
+    std::string toString() const;
+
+  private:
+    std::vector<Pauli> _paulis;
+    std::uint8_t _phase = 0;
+};
+
+} // namespace quest::quantum
+
+#endif // QUEST_QUANTUM_PAULI_HPP

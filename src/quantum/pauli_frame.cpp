@@ -1,0 +1,33 @@
+#include "pauli_frame.hpp"
+
+namespace quest::quantum {
+
+std::size_t
+PauliFrame::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < _xerr.size(); ++q)
+        if (_xerr[q] || _zerr[q])
+            ++w;
+    return w;
+}
+
+void
+PauliFrame::clear()
+{
+    for (auto &b : _xerr)
+        b = 0;
+    for (auto &b : _zerr)
+        b = 0;
+}
+
+PauliString
+PauliFrame::toPauliString() const
+{
+    PauliString out(_xerr.size());
+    for (std::size_t q = 0; q < _xerr.size(); ++q)
+        out.set(q, makePauli(_xerr[q], _zerr[q]));
+    return out;
+}
+
+} // namespace quest::quantum

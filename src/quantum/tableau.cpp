@@ -1,0 +1,400 @@
+#include "tableau.hpp"
+
+#include <bit>
+
+#include "sim/logging.hpp"
+
+namespace quest::quantum {
+
+namespace {
+
+constexpr std::size_t wordBits = 64;
+
+std::size_t
+wordIndex(std::size_t col)
+{
+    return col / wordBits;
+}
+
+std::uint64_t
+bitMask(std::size_t col)
+{
+    return std::uint64_t(1) << (col % wordBits);
+}
+
+} // namespace
+
+Tableau::Tableau(std::size_t num_qubits)
+    : _n(num_qubits),
+      _words((num_qubits + wordBits - 1) / wordBits),
+      _x((2 * num_qubits + 1) * _words, 0),
+      _z((2 * num_qubits + 1) * _words, 0),
+      _r(2 * num_qubits + 1, 0)
+{
+    QUEST_ASSERT(_n > 0, "tableau needs at least one qubit");
+    // Destabilizer i = X_i; stabilizer i = Z_i (the |0..0> state).
+    for (std::size_t i = 0; i < _n; ++i) {
+        setX(i, i, true);
+        setZ(_n + i, i, true);
+    }
+}
+
+bool
+Tableau::getX(std::size_t row, std::size_t col) const
+{
+    return _x[row * _words + wordIndex(col)] & bitMask(col);
+}
+
+bool
+Tableau::getZ(std::size_t row, std::size_t col) const
+{
+    return _z[row * _words + wordIndex(col)] & bitMask(col);
+}
+
+void
+Tableau::setX(std::size_t row, std::size_t col, bool v)
+{
+    auto &w = _x[row * _words + wordIndex(col)];
+    if (v)
+        w |= bitMask(col);
+    else
+        w &= ~bitMask(col);
+}
+
+void
+Tableau::setZ(std::size_t row, std::size_t col, bool v)
+{
+    auto &w = _z[row * _words + wordIndex(col)];
+    if (v)
+        w |= bitMask(col);
+    else
+        w &= ~bitMask(col);
+}
+
+void
+Tableau::zeroRow(std::size_t row)
+{
+    for (std::size_t w = 0; w < _words; ++w) {
+        _x[row * _words + w] = 0;
+        _z[row * _words + w] = 0;
+    }
+    _r[row] = 0;
+}
+
+void
+Tableau::copyRow(std::size_t dst, std::size_t src)
+{
+    for (std::size_t w = 0; w < _words; ++w) {
+        _x[dst * _words + w] = _x[src * _words + w];
+        _z[dst * _words + w] = _z[src * _words + w];
+    }
+    _r[dst] = _r[src];
+}
+
+int
+Tableau::phaseOfProduct(std::size_t h, std::size_t i) const
+{
+    // Sum of the CHP g() function over all qubit positions, computed
+    // word-parallel. Each position contributes -1, 0 or +1.
+    std::int64_t total = 0;
+    for (std::size_t w = 0; w < _words; ++w) {
+        const std::uint64_t x1 = _x[i * _words + w];
+        const std::uint64_t z1 = _z[i * _words + w];
+        const std::uint64_t x2 = _x[h * _words + w];
+        const std::uint64_t z2 = _z[h * _words + w];
+
+        // Row i position is Y: g = z2 - x2.
+        const std::uint64_t y1 = x1 & z1;
+        std::uint64_t plus = y1 & z2 & ~x2;
+        std::uint64_t minus = y1 & x2 & ~z2;
+
+        // Row i position is X: g = z2 * (2*x2 - 1).
+        const std::uint64_t xonly = x1 & ~z1;
+        plus |= xonly & z2 & x2;
+        minus |= xonly & z2 & ~x2;
+
+        // Row i position is Z: g = x2 * (1 - 2*z2).
+        const std::uint64_t zonly = ~x1 & z1;
+        plus |= zonly & x2 & ~z2;
+        minus |= zonly & x2 & z2;
+
+        total += std::popcount(plus);
+        total -= std::popcount(minus);
+    }
+    return static_cast<int>(((total % 4) + 4) % 4);
+}
+
+void
+Tableau::rowsum(std::size_t h, std::size_t i)
+{
+    const int phase = (2 * _r[h] + 2 * _r[i] + phaseOfProduct(h, i)) % 4;
+    QUEST_ASSERT(phase == 0 || phase == 2,
+                 "rowsum produced imaginary phase %d", phase);
+    _r[h] = phase == 2 ? 1 : 0;
+    for (std::size_t w = 0; w < _words; ++w) {
+        _x[h * _words + w] ^= _x[i * _words + w];
+        _z[h * _words + w] ^= _z[i * _words + w];
+    }
+}
+
+void
+Tableau::h(std::size_t q)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t row = 0; row < 2 * _n; ++row) {
+        const bool xv = getX(row, q);
+        const bool zv = getZ(row, q);
+        if (xv && zv)
+            _r[row] ^= 1;
+        setX(row, q, zv);
+        setZ(row, q, xv);
+    }
+}
+
+void
+Tableau::s(std::size_t q)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t row = 0; row < 2 * _n; ++row) {
+        const bool xv = getX(row, q);
+        const bool zv = getZ(row, q);
+        if (xv && zv)
+            _r[row] ^= 1;
+        setZ(row, q, zv ^ xv);
+    }
+}
+
+void
+Tableau::sdg(std::size_t q)
+{
+    // S^dagger = S Z.
+    s(q);
+    z(q);
+}
+
+void
+Tableau::x(std::size_t q)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t row = 0; row < 2 * _n; ++row)
+        if (getZ(row, q))
+            _r[row] ^= 1;
+}
+
+void
+Tableau::z(std::size_t q)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t row = 0; row < 2 * _n; ++row)
+        if (getX(row, q))
+            _r[row] ^= 1;
+}
+
+void
+Tableau::y(std::size_t q)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t row = 0; row < 2 * _n; ++row)
+        if (getX(row, q) ^ getZ(row, q))
+            _r[row] ^= 1;
+}
+
+void
+Tableau::cnot(std::size_t control, std::size_t target)
+{
+    QUEST_ASSERT(control < _n && target < _n && control != target,
+                 "bad CNOT operands (%zu, %zu)", control, target);
+    for (std::size_t row = 0; row < 2 * _n; ++row) {
+        const bool xc = getX(row, control);
+        const bool zc = getZ(row, control);
+        const bool xt = getX(row, target);
+        const bool zt = getZ(row, target);
+        if (xc && zt && (xt == zc))
+            _r[row] ^= 1;
+        setX(row, target, xt ^ xc);
+        setZ(row, control, zc ^ zt);
+    }
+}
+
+void
+Tableau::cz(std::size_t a, std::size_t b)
+{
+    // CZ = (I (x) H) CNOT (I (x) H).
+    h(b);
+    cnot(a, b);
+    h(b);
+}
+
+void
+Tableau::swapQubits(std::size_t a, std::size_t b)
+{
+    cnot(a, b);
+    cnot(b, a);
+    cnot(a, b);
+}
+
+void
+Tableau::applyPauli(const PauliString &p)
+{
+    QUEST_ASSERT(p.size() == _n,
+                 "Pauli size %zu does not match tableau size %zu",
+                 p.size(), _n);
+    for (std::size_t q = 0; q < _n; ++q) {
+        switch (p.at(q)) {
+          case Pauli::I: break;
+          case Pauli::X: x(q); break;
+          case Pauli::Z: z(q); break;
+          case Pauli::Y: y(q); break;
+        }
+    }
+}
+
+int
+Tableau::peekZ(std::size_t q) const
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    for (std::size_t p = _n; p < 2 * _n; ++p)
+        if (getX(p, q))
+            return -1; // outcome is random
+
+    // Deterministic: accumulate the relevant stabilizers into the
+    // scratch row of a working copy (const method, so copy).
+    Tableau tmp = *this;
+    const std::size_t scratch = 2 * _n;
+    tmp.zeroRow(scratch);
+    for (std::size_t i = 0; i < _n; ++i)
+        if (tmp.getX(i, q))
+            tmp.rowsum(scratch, i + _n);
+    return tmp._r[scratch] ? 1 : 0;
+}
+
+bool
+Tableau::measureZ(std::size_t q, sim::Rng &rng)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+
+    // Look for a stabilizer anticommuting with Z_q.
+    std::size_t p = 0;
+    bool found = false;
+    for (std::size_t row = _n; row < 2 * _n; ++row) {
+        if (getX(row, q)) {
+            p = row;
+            found = true;
+            break;
+        }
+    }
+
+    if (found) {
+        // Random outcome. Skip destabilizer p-n: it may anticommute
+        // with row p (imaginary product) and is overwritten by the
+        // copy below anyway.
+        for (std::size_t row = 0; row < 2 * _n; ++row)
+            if (row != p && row != p - _n && getX(row, q))
+                rowsum(row, p);
+        copyRow(p - _n, p);
+        zeroRow(p);
+        setZ(p, q, true);
+        const bool outcome = rng.bernoulli(0.5);
+        _r[p] = outcome ? 1 : 0;
+        return outcome;
+    }
+
+    // Deterministic outcome.
+    const std::size_t scratch = 2 * _n;
+    zeroRow(scratch);
+    for (std::size_t i = 0; i < _n; ++i)
+        if (getX(i, q))
+            rowsum(scratch, i + _n);
+    return _r[scratch] != 0;
+}
+
+void
+Tableau::reset(std::size_t q, sim::Rng &rng)
+{
+    if (measureZ(q, rng))
+        x(q);
+}
+
+PauliString
+Tableau::stabilizer(std::size_t i) const
+{
+    QUEST_ASSERT(i < _n, "stabilizer index %zu out of range", i);
+    PauliString out(_n);
+    const std::size_t row = _n + i;
+    for (std::size_t q = 0; q < _n; ++q)
+        out.set(q, makePauli(getX(row, q), getZ(row, q)));
+    out.setPhaseExponent(_r[row] ? 2 : 0);
+    return out;
+}
+
+PauliString
+Tableau::destabilizer(std::size_t i) const
+{
+    QUEST_ASSERT(i < _n, "destabilizer index %zu out of range", i);
+    PauliString out(_n);
+    for (std::size_t q = 0; q < _n; ++q)
+        out.set(q, makePauli(getX(i, q), getZ(i, q)));
+    out.setPhaseExponent(_r[i] ? 2 : 0);
+    return out;
+}
+
+int
+Tableau::expectation(const PauliString &p) const
+{
+    QUEST_ASSERT(p.size() == _n,
+                 "Pauli size %zu does not match tableau size %zu",
+                 p.size(), _n);
+
+    // If p anticommutes with any stabilizer, <p> = 0.
+    for (std::size_t i = 0; i < _n; ++i)
+        if (!stabilizer(i).commutesWith(p))
+            return 0;
+
+    // Otherwise p is (up to sign) a product of stabilizers: find the
+    // combination via the destabilizers. Stabilizer j participates
+    // iff p anticommutes with destabilizer j.
+    Tableau tmp = *this;
+    const std::size_t scratch = 2 * _n;
+    tmp.zeroRow(scratch);
+    for (std::size_t j = 0; j < _n; ++j)
+        if (!destabilizer(j).commutesWith(p))
+            tmp.rowsum(scratch, _n + j);
+
+    // Rebuild the accumulated operator and compare with p.
+    PauliString acc(_n);
+    for (std::size_t q = 0; q < _n; ++q)
+        acc.set(q, makePauli(tmp.getX(scratch, q), tmp.getZ(scratch, q)));
+    for (std::size_t q = 0; q < _n; ++q) {
+        QUEST_ASSERT(acc.at(q) == p.at(q),
+                     "expectation reconstruction mismatch at qubit %zu", q);
+    }
+
+    const std::uint8_t acc_phase = tmp._r[scratch] ? 2 : 0;
+    const std::uint8_t rel =
+        static_cast<std::uint8_t>((acc_phase - p.phaseExponent()) & 3u);
+    QUEST_ASSERT(rel == 0 || rel == 2, "imaginary expectation phase");
+    return rel == 0 ? 1 : -1;
+}
+
+bool
+Tableau::checkInvariants() const
+{
+    // Destabilizer i must anticommute with stabilizer i and commute
+    // with every other stabilizer; stabilizers must mutually commute.
+    for (std::size_t i = 0; i < _n; ++i) {
+        const PauliString di = destabilizer(i);
+        for (std::size_t j = 0; j < _n; ++j) {
+            const PauliString sj = stabilizer(j);
+            const bool want_commute = (i != j);
+            if (di.commutesWith(sj) != want_commute)
+                return false;
+        }
+    }
+    for (std::size_t i = 0; i < _n; ++i)
+        for (std::size_t j = i + 1; j < _n; ++j)
+            if (!stabilizer(i).commutesWith(stabilizer(j)))
+                return false;
+    return true;
+}
+
+} // namespace quest::quantum

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Clock domains and clocked objects.
+ *
+ * A ClockDomain converts between cycles and ticks for one frequency;
+ * a Clocked object belongs to a domain and advances in whole cycles.
+ * QuEST spans three domains: the 100 MHz quantum substrate, the
+ * ~10 GHz Josephson-junction control logic at 4 K, and the CMOS
+ * master controller at 77 K.
+ */
+
+#ifndef QUEST_SIM_CLOCKED_HPP
+#define QUEST_SIM_CLOCKED_HPP
+
+#include <string>
+
+#include "logging.hpp"
+#include "types.hpp"
+
+namespace quest::sim {
+
+/** A named clock domain with a fixed period. */
+class ClockDomain
+{
+  public:
+    /**
+     * @param name Human-readable name (for stats and diagnostics).
+     * @param period_ticks Clock period in ticks (> 0).
+     */
+    ClockDomain(std::string name, Tick period_ticks)
+        : _name(std::move(name)), _period(period_ticks)
+    {
+        QUEST_ASSERT(_period > 0, "clock period must be positive");
+    }
+
+    /** Construct from a frequency in hertz. */
+    static ClockDomain
+    fromHz(std::string name, double hz)
+    {
+        return ClockDomain(std::move(name), clockPeriodFromHz(hz));
+    }
+
+    const std::string &name() const { return _name; }
+    Tick period() const { return _period; }
+    double frequencyHz() const { return 1e12 / double(_period); }
+
+    /** Tick of the start of the given cycle. */
+    Tick cycleToTick(Cycle c) const { return c * _period; }
+
+    /** Cycle containing the given tick (rounded down). */
+    Cycle tickToCycle(Tick t) const { return t / _period; }
+
+    /** Smallest cycle count covering the given duration. */
+    Cycle
+    ceilCycles(Tick duration) const
+    {
+        return (duration + _period - 1) / _period;
+    }
+
+  private:
+    std::string _name;
+    Tick _period;
+};
+
+/**
+ * Base class for components that advance one cycle at a time within
+ * a clock domain. Subclasses override tick() and are stepped by
+ * their owner (lock-step models) or by scheduled events.
+ */
+class Clocked
+{
+  public:
+    explicit Clocked(const ClockDomain &domain)
+        : _domain(&domain)
+    {}
+
+    virtual ~Clocked() = default;
+
+    const ClockDomain &clockDomain() const { return *_domain; }
+    Cycle curCycle() const { return _cycle; }
+
+    /** Advance exactly one cycle. */
+    void
+    step()
+    {
+        tick();
+        ++_cycle;
+    }
+
+    /** Advance n cycles. */
+    void
+    stepN(Cycle n)
+    {
+        for (Cycle i = 0; i < n; ++i)
+            step();
+    }
+
+  protected:
+    /** Per-cycle behaviour; runs before the cycle counter advances. */
+    virtual void tick() = 0;
+
+  private:
+    const ClockDomain *_domain;
+    Cycle _cycle = 0;
+};
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_CLOCKED_HPP

@@ -1,0 +1,52 @@
+#include "event_queue.hpp"
+
+#include "logging.hpp"
+
+namespace quest::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    QUEST_ASSERT(when >= _now,
+                 "event scheduled in the past (when=%llu, now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
+    _heap.push(Entry{when, prio, _nextSeq++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        Entry e = _heap.top();
+        _heap.pop();
+        _now = e.when;
+        e.cb();
+        ++executed;
+    }
+    // Time advances to the horizon we simulated up to, even when
+    // later events remain pending.
+    if (limit != maxTick && limit > _now)
+        _now = limit;
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runOneTick()
+{
+    if (_heap.empty())
+        return 0;
+    const Tick t = _heap.top().when;
+    return run(t);
+}
+
+void
+EventQueue::clear()
+{
+    _heap = {};
+    _now = 0;
+    _nextSeq = 0;
+}
+
+} // namespace quest::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue holds callbacks ordered by (tick, priority,
+ * insertion order) and drains them in order. The cycle-level QuEST
+ * models are largely lock-step (every component advances one cycle
+ * per clock edge) but cross-domain interactions — e.g. the 77 K
+ * master controller dispatching packets to 4 K MCEs — are easiest
+ * to express as scheduled events.
+ */
+
+#ifndef QUEST_SIM_EVENT_QUEUE_HPP
+#define QUEST_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "types.hpp"
+
+namespace quest::sim {
+
+/** Priority for events scheduled at the same tick; lower runs first. */
+using EventPriority = std::int32_t;
+
+constexpr EventPriority defaultPriority = 0;
+/** Clock-edge events run before same-tick data events. */
+constexpr EventPriority clockPriority = -100;
+/** Stat-dump style events run after everything else in the tick. */
+constexpr EventPriority statsPriority = 100;
+
+/** A totally-ordered queue of timed callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to run.
+     * @param prio Tie-break priority within the tick.
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = defaultPriority);
+
+    /** Schedule a callback `delay` ticks in the future. */
+    void
+    scheduleIn(Tick delay, Callback cb, EventPriority prio = defaultPriority)
+    {
+        schedule(_now + delay, std::move(cb), prio);
+    }
+
+    /**
+     * Run events until the queue is empty or the time limit passes.
+     * @param limit Stop before executing events scheduled after this
+     *              tick (maxTick means run to exhaustion).
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Execute events one tick's worth at a time. @return events run. */
+    std::uint64_t runOneTick();
+
+    /** Drop all pending events (used between test cases). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventPriority prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_EVENT_QUEUE_HPP

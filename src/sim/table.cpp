@@ -1,0 +1,89 @@
+#include "table.hpp"
+
+#include <algorithm>
+
+#include "logging.hpp"
+
+namespace quest::sim {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    QUEST_ASSERT(_rows.empty(), "set the header before adding rows");
+    _header = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    QUEST_ASSERT(cells.size() == _header.size(),
+                 "row width %zu does not match header width %zu",
+                 cells.size(), _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_header.size(), 0);
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &r : _rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ')
+               << " | ";
+        }
+        os << "\n";
+    };
+
+    std::size_t total = 4;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    os << "\n=== " << _title << " ===\n";
+    print_row(_header);
+    os << std::string(total - 3, '-') << "\n";
+    for (const auto &r : _rows)
+        print_row(r);
+    for (const auto &cap : _captions)
+        os << "  " << cap << "\n";
+    os << "\n";
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto csv_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing separators.
+            if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << "\n";
+    };
+    os << "# " << _title << "\n";
+    csv_row(_header);
+    for (const auto &r : _rows)
+        csv_row(r);
+    for (const auto &cap : _captions)
+        os << "# " << cap << "\n";
+}
+
+} // namespace quest::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Formatted table output for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints its data as an aligned
+ * ASCII table (and optionally CSV) so that the series the paper
+ * plots can be read straight off the bench output.
+ */
+
+#ifndef QUEST_SIM_TABLE_HPP
+#define QUEST_SIM_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace quest::sim {
+
+/** A simple column-aligned text table with a title and caption. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append one row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a caption line printed under the table. */
+    void caption(std::string line) { _captions.push_back(std::move(line)); }
+
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _header.size(); }
+
+    /** Access a cell (row-major), for tests. */
+    const std::string &cell(std::size_t r, std::size_t c) const
+    {
+        return _rows.at(r).at(c);
+    }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, captions as # comments). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+    std::vector<std::string> _captions;
+};
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_TABLE_HPP

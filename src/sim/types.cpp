@@ -1,0 +1,70 @@
+#include "types.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace quest::sim {
+
+namespace {
+
+std::string
+formatWithUnits(double value, const char *const *units, std::size_t n_units,
+                double base)
+{
+    std::size_t idx = 0;
+    double v = value;
+    while (std::fabs(v) >= base && idx + 1 < n_units) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatRate(double bytes_per_second)
+{
+    static const char *units[] = {
+        "B/s", "KB/s", "MB/s", "GB/s", "TB/s", "PB/s", "EB/s"
+    };
+    return formatWithUnits(bytes_per_second, units, std::size(units), 1000.0);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = { "B", "KB", "MB", "GB", "TB", "PB" };
+    return formatWithUnits(bytes, units, std::size(units), 1000.0);
+}
+
+std::string
+formatCount(double value)
+{
+    char buf[64];
+    if (value != 0.0 && (std::fabs(value) >= 1e6 || std::fabs(value) < 1e-3))
+        std::snprintf(buf, sizeof(buf), "%.2e", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", value);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    static const char *units[] = { "s", "ms", "us", "ns", "ps" };
+    std::size_t idx = 0;
+    double v = seconds;
+    while (v != 0.0 && std::fabs(v) < 1.0 && idx + 1 < std::size(units)) {
+        v *= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[idx]);
+    return buf;
+}
+
+} // namespace quest::sim

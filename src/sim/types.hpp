@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The QuEST simulator is a discrete-time, cycle-level model. Time is
+ * tracked in Ticks (1 tick == 1 picosecond) so that multiple clock
+ * domains (the 100 MHz quantum substrate, the multi-GHz JJ control
+ * logic, the 77 K CMOS master controller) can coexist without
+ * rounding error.
+ */
+
+#ifndef QUEST_SIM_TYPES_HPP
+#define QUEST_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace quest::sim {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Count of cycles within a single clock domain. */
+using Cycle = std::uint64_t;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @name Tick arithmetic helpers (1 tick = 1 ps). */
+///@{
+constexpr Tick
+picoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * 1000ull * 1000ull * 1000ull;
+}
+
+constexpr Tick
+seconds(std::uint64_t n)
+{
+    return n * 1000ull * 1000ull * 1000ull * 1000ull;
+}
+///@}
+
+/** Convert a tick count to fractional seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Convert fractional seconds to the nearest tick. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * 1e12 + 0.5);
+}
+
+/**
+ * Clock period helper: the tick period of a frequency given in hertz.
+ * e.g. clockPeriod(100e6) == 10000 ticks (10 ns).
+ */
+constexpr Tick
+clockPeriodFromHz(double hz)
+{
+    return static_cast<Tick>(1e12 / hz + 0.5);
+}
+
+/**
+ * Render a byte-per-second rate with a binary-prefix unit, e.g.
+ * "101.21 TB/s". Used by the bench harnesses to match the units the
+ * paper reports.
+ */
+std::string formatRate(double bytes_per_second);
+
+/** Render a byte count with a binary-prefix unit, e.g. "4.00 KB". */
+std::string formatBytes(double bytes);
+
+/** Render a count using engineering notation, e.g. "1.6e+05". */
+std::string formatCount(double value);
+
+/** Render seconds with an SI prefix, e.g. "2.42 us". */
+std::string formatSeconds(double seconds);
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_TYPES_HPP

@@ -1,0 +1,37 @@
+#include "parameters.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::tech {
+
+std::string
+technologyName(Technology tech)
+{
+    switch (tech) {
+      case Technology::ExperimentalS: return "ExperimentalS";
+      case Technology::ProjectedF: return "ProjectedF";
+      case Technology::ProjectedD: return "ProjectedD";
+    }
+    sim::panic("invalid technology %d", int(tech));
+}
+
+GateLatencies
+gateLatencies(Technology tech)
+{
+    using sim::nanoseconds;
+    using sim::microseconds;
+    switch (tech) {
+      case Technology::ExperimentalS:
+        return GateLatencies{microseconds(1), nanoseconds(25),
+                             microseconds(1), nanoseconds(100)};
+      case Technology::ProjectedF:
+        return GateLatencies{nanoseconds(40), nanoseconds(10),
+                             nanoseconds(35), nanoseconds(80)};
+      case Technology::ProjectedD:
+        return GateLatencies{nanoseconds(40), nanoseconds(5),
+                             nanoseconds(35), nanoseconds(20)};
+    }
+    sim::panic("invalid technology %d", int(tech));
+}
+
+} // namespace quest::tech

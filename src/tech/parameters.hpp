@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Technology parameters (paper Table 1 and Section 2).
+ *
+ * Three qubit technology points are evaluated:
+ *  - ExperimentalS: measured superconducting devices (Tomita/Svore).
+ *  - ProjectedF: projected gate latencies (Fowler et al.).
+ *  - ProjectedD: DiVincenzo's projected latencies.
+ *
+ * One QECC round built from the canonical X/Z-syndrome circuit
+ * (identity, preparation, four CNOTs, measurement) reproduces the
+ * paper's T_ecc column exactly:
+ *   T_ecc = t_1 + t_prep + 4 * t_cnot + t_meas
+ *   ExperimentalS: 25n + 1u + 400n + 1u = 2.425 us  (paper: 2.42 us)
+ *   ProjectedF:    10n + 40n + 320n + 35n = 405 ns  (paper: 405 ns)
+ *   ProjectedD:     5n + 40n +  80n + 35n = 160 ns  (paper: 165 ns)
+ */
+
+#ifndef QUEST_TECH_PARAMETERS_HPP
+#define QUEST_TECH_PARAMETERS_HPP
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace quest::tech {
+
+/** Identifies one of the paper's qubit technology assumptions. */
+enum class Technology
+{
+    ExperimentalS, ///< measured superconducting devices
+    ProjectedF,    ///< Fowler et al. projections
+    ProjectedD,    ///< DiVincenzo projections
+};
+
+/** All paper technologies, in Table-1 column order. */
+inline constexpr Technology allTechnologies[] = {
+    Technology::ExperimentalS,
+    Technology::ProjectedF,
+    Technology::ProjectedD,
+};
+
+/** Human-readable technology name. */
+std::string technologyName(Technology tech);
+
+/** Quantum gate latencies for one technology point (Table 1). */
+struct GateLatencies
+{
+    sim::Tick tPrep;  ///< state preparation
+    sim::Tick t1;     ///< single-qubit gate
+    sim::Tick tMeas;  ///< measurement
+    sim::Tick tCnot;  ///< two-qubit CNOT
+
+    /**
+     * Duration of one canonical syndrome-extraction round:
+     * identity + preparation + 4 CNOTs + measurement.
+     */
+    sim::Tick
+    eccRound() const
+    {
+        return t1 + tPrep + 4 * tCnot + tMeas;
+    }
+};
+
+/** Table-1 latencies for a technology point. */
+GateLatencies gateLatencies(Technology tech);
+
+/** @name Fixed architectural constants (Section 2). */
+///@{
+
+/** Superconducting qubit operating frequency (Section 2.2). */
+inline constexpr double qubitFrequencyHz = 100e6;
+
+/** JJ control logic clock (Section 2.2: JJ gates clocked at 10 GHz). */
+inline constexpr double jjClockHz = 10e9;
+
+/** Physical (micro-op stream) instruction size in the baseline
+ *  software-managed design (Section 3.3: byte-sized instructions). */
+inline constexpr std::size_t physicalInstrBytes = 1;
+
+/** Logical instruction size (Section 5.3: fixed at two bytes). */
+inline constexpr std::size_t logicalInstrBytes = 2;
+
+/** Word width of one microcode memory read (bits). */
+inline constexpr std::size_t microcodeWordBits = 32;
+
+/**
+ * Per-qubit baseline instruction bandwidth (Section 3.3): each
+ * physical qubit needs byte-sized instructions at its operating
+ * rate, i.e. 100 MB/s.
+ */
+inline constexpr double
+baselinePerQubitBandwidth()
+{
+    return qubitFrequencyHz * double(physicalInstrBytes);
+}
+///@}
+
+} // namespace quest::tech
+
+#endif // QUEST_TECH_PARAMETERS_HPP

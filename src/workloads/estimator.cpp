@@ -1,0 +1,107 @@
+#include "estimator.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::workloads {
+
+std::size_t
+ResourceEstimator::solveDistance(const Workload &w,
+                                 double logical_qubits) const
+{
+    // Rounds depend on d, and the distance choice depends on the
+    // number of rounds: iterate to a fixpoint (monotone, so this
+    // converges in a couple of steps).
+    std::size_t d = 3;
+    for (int iter = 0; iter < 8; ++iter) {
+        const double rounds = w.depth() * double(d);
+        // Half the failure budget goes to memory/logic errors, the
+        // other half to distilled T states.
+        const std::size_t next = qecc::chooseDistance(
+            _cfg.physicalErrorRate, rounds, logical_qubits,
+            _cfg.failureBudget / 2.0);
+        if (next == d)
+            return d;
+        d = next;
+    }
+    return d;
+}
+
+ResourceEstimate
+ResourceEstimator::estimate(const Workload &w) const
+{
+    QUEST_ASSERT(w.logicalQubits > 0 && w.logicalGates > 0,
+                 "workload '%s' has no work", w.name.c_str());
+
+    ResourceEstimate est;
+    est.workload = w;
+    est.config = _cfg;
+
+    const auto &proto = qecc::protocolSpec(_cfg.protocol);
+    const auto lat = tech::gateLatencies(_cfg.technology);
+
+    // --- Distillation plant -------------------------------------
+    const distill::TFactoryModel factory_model;
+    const double t_rate = w.tFraction * w.ilp;
+    est.tPlan = factory_model.plan(_cfg.physicalErrorRate, w.tGates(),
+                                   t_rate, _cfg.failureBudget / 2.0);
+
+    est.appLogicalQubits = w.logicalQubits;
+    est.factoryLogicalQubits = double(est.tPlan.factories)
+        * est.tPlan.logicalQubitsPerFactory;
+    const double logical_qubits =
+        est.appLogicalQubits + est.factoryLogicalQubits;
+
+    // --- Code distance and physical expansion --------------------
+    est.codeDistance = solveDistance(w, logical_qubits);
+    const double per_logical = _cfg.qurePatch
+        ? qecc::qureQubitsPerLogical(est.codeDistance)
+        : qecc::fowlerQubitsPerLogical(est.codeDistance);
+    est.physicalQubits = logical_qubits * per_logical;
+
+    // --- Time ----------------------------------------------------
+    // One logical time-step takes d QECC rounds (defect separation
+    // must be maintained for d rounds per step).
+    est.logicalDepth = w.depth();
+    est.qeccRounds = est.logicalDepth * double(est.codeDistance);
+    est.execTimeSeconds = est.qeccRounds
+        * sim::ticksToSeconds(proto.roundDuration(lat));
+
+    // --- Instruction counts --------------------------------------
+    est.qeccInstructions = est.physicalQubits
+        * double(proto.uopsPerQubit) * est.qeccRounds;
+    est.appInstructions = w.logicalGates;
+    est.distillInstructions = est.tPlan.plantInstrPerStep
+        * est.logicalDepth;
+    // One synchronization token per logical time-step.
+    est.syncTokens = est.logicalDepth;
+    // Cache fills: each factory's round body fetched once.
+    est.cacheFillInstructions = double(est.tPlan.factories)
+        * double(factory_model.spec().instructionsPerRound)
+        * double(est.tPlan.levels);
+
+    // --- Bandwidths ----------------------------------------------
+    // Baseline: the software-managed stream delivers every QECC uop
+    // as a byte-sized instruction over the run; per qubit this is
+    // uopsPerQubit / T_ecc ~= the qubit operating rate, i.e. the
+    // ~100 MB/s per qubit of Section 3.3. Expressing it through the
+    // instruction count makes the savings ratio independent of the
+    // technology's absolute gate latencies, matching the paper's
+    // observation that configuration moves the savings by less than
+    // a coefficient of variation of 0.0002%.
+    est.baselineBandwidth = est.qeccInstructions
+        * double(tech::physicalInstrBytes) / est.execTimeSeconds;
+
+    const double bytes_per_logical = double(tech::logicalInstrBytes);
+    est.mceBandwidth = (est.appInstructions + est.distillInstructions
+                        + est.syncTokens)
+        * bytes_per_logical / est.execTimeSeconds;
+    est.cachedBandwidth = (est.appInstructions + est.syncTokens
+                           + est.cacheFillInstructions)
+        * bytes_per_logical / est.execTimeSeconds;
+
+    return est;
+}
+
+} // namespace quest::workloads

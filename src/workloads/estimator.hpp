@@ -1,0 +1,130 @@
+/**
+ * @file
+ * QuRE-style quantum resource and bandwidth estimator (Section 6.2).
+ *
+ * Reimplements the analytical pipeline the paper ran through the
+ * QuRE toolbox: pick a code distance from the physical error rate
+ * and the application's failure budget, expand logical qubits into
+ * physical qubits (QuRE's 7d x 3d patch by default), size the
+ * magic-state distillation plant, derive the execution time from
+ * the logical depth and the QECC round latency, and convert the
+ * resulting instruction streams into the three bandwidth figures
+ * the evaluation compares:
+ *
+ *  - baseline: software-managed QECC; every physical qubit consumes
+ *    byte-sized instructions at its operating rate (Section 3.3).
+ *  - QuEST (MCE): QECC handled by microcode; the global bus carries
+ *    the application's logical instructions, the distillation
+ *    plant's logical instructions and sync tokens (Section 7).
+ *  - QuEST + logical cache: distillation streams are cached at the
+ *    MCEs; only application instructions, sync tokens and one-time
+ *    cache fills remain (Section 5.3).
+ */
+
+#ifndef QUEST_WORKLOADS_ESTIMATOR_HPP
+#define QUEST_WORKLOADS_ESTIMATOR_HPP
+
+#include "distill/tfactory.hpp"
+#include "qecc/distance.hpp"
+#include "qecc/protocol.hpp"
+#include "tech/parameters.hpp"
+#include "workload.hpp"
+
+namespace quest::workloads {
+
+/** Estimator configuration (the paper's evaluation knobs). */
+struct EstimatorConfig
+{
+    tech::Technology technology = tech::Technology::ProjectedD;
+    qecc::Protocol protocol = qecc::Protocol::Steane;
+    double physicalErrorRate = 1e-4; ///< per round (Section 7)
+    double failureBudget = 0.5;      ///< total allowed failure
+    bool qurePatch = true; ///< 7d x 3d patch vs 12.5 d^2 defect pair
+};
+
+/** Everything the figures need, for one (workload, config) pair. */
+struct ResourceEstimate
+{
+    Workload workload;
+    EstimatorConfig config;
+
+    std::size_t codeDistance = 3;
+    double logicalDepth = 0;      ///< serial logical time-steps
+    double qeccRounds = 0;        ///< total QECC rounds executed
+    double execTimeSeconds = 0;
+
+    double appLogicalQubits = 0;
+    double factoryLogicalQubits = 0;
+    double physicalQubits = 0;
+
+    distill::TFactoryPlan tPlan;
+
+    /** @name Instruction counts over the whole execution. */
+    ///@{
+    double qeccInstructions = 0;    ///< physical QECC uops
+    double appInstructions = 0;     ///< application logical instrs
+    double distillInstructions = 0; ///< distillation logical instrs
+    double syncTokens = 0;          ///< master-controller tokens
+    double cacheFillInstructions = 0; ///< one-time icache fills
+    ///@}
+
+    /** @name Global bus bandwidth (bytes per second). */
+    ///@{
+    double baselineBandwidth = 0;
+    double mceBandwidth = 0;
+    double cachedBandwidth = 0;
+    ///@}
+
+    /** Figure 6: QECC instructions per application instruction. */
+    double
+    qeccRatio() const
+    {
+        return qeccInstructions / appInstructions;
+    }
+
+    /** Figure 13: distillation instrs per application instruction. */
+    double
+    tFactoryRatio() const
+    {
+        return distillInstructions / appInstructions;
+    }
+
+    /** Figure 14: bandwidth saving from hardware QECC alone. */
+    double
+    mceSavings() const
+    {
+        return baselineBandwidth / mceBandwidth;
+    }
+
+    /** Figure 14: bandwidth saving with the logical cache added. */
+    double
+    totalSavings() const
+    {
+        return baselineBandwidth / cachedBandwidth;
+    }
+};
+
+/** The analytical estimator. */
+class ResourceEstimator
+{
+  public:
+    explicit ResourceEstimator(EstimatorConfig cfg = EstimatorConfig{})
+        : _cfg(cfg)
+    {}
+
+    const EstimatorConfig &config() const { return _cfg; }
+
+    /** Run the full pipeline for one workload. */
+    ResourceEstimate estimate(const Workload &w) const;
+
+  private:
+    EstimatorConfig _cfg;
+
+    /** Iterate distance selection to its fixpoint. */
+    std::size_t solveDistance(const Workload &w,
+                              double logical_qubits) const;
+};
+
+} // namespace quest::workloads
+
+#endif // QUEST_WORKLOADS_ESTIMATOR_HPP

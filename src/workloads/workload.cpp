@@ -1,0 +1,70 @@
+#include "workload.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace quest::workloads {
+
+Workload
+bwt()
+{
+    // ScaffCC BWT at n=300, s=1000: ~900 logical qubits, ~1e8 gates.
+    return Workload{"BWT", 900, 1.0e8, 0.30, 2.5};
+}
+
+Workload
+booleanFormula()
+{
+    // ScaffCC BF (n=2): small qubit count, modest gate count.
+    return Workload{"BF", 60, 2.0e6, 0.25, 2.0};
+}
+
+Workload
+gse()
+{
+    // Fe2S2 ground-state estimation: deep phase-estimation circuit.
+    return Workload{"GSE", 1200, 1.0e12, 0.28, 2.5};
+}
+
+Workload
+femoco()
+{
+    // FeMoCo active-site simulation (Hastings et al. scale).
+    return Workload{"FeMoCo", 2000, 1.0e14, 0.30, 2.5};
+}
+
+Workload
+qls()
+{
+    // Quantum Linear System at n=332.
+    return Workload{"QLS", 500, 1.0e10, 0.27, 2.5};
+}
+
+Workload
+shor(std::size_t bits)
+{
+    QUEST_ASSERT(bits >= 16, "modulus too small to be interesting");
+    // 2n+3 logical qubits (Beauregard-style circuit) and ~40 n^3
+    // gates for modular exponentiation.
+    const double n = double(bits);
+    return Workload{"SHOR-" + std::to_string(bits), 2.0 * n + 3.0,
+                    40.0 * n * n * n, 0.25, 3.0};
+}
+
+Workload
+tfp()
+{
+    // Triangle finding on a dense graph (n ~ 15 nodes at the
+    // ScaffCC parameterization).
+    return Workload{"TFP", 150, 2.0e7, 0.25, 2.0};
+}
+
+std::vector<Workload>
+workloadSuite()
+{
+    return { bwt(), booleanFormula(), gse(), femoco(), qls(),
+             shor(512), tfp() };
+}
+
+} // namespace quest::workloads

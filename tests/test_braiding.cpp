@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for defect braiding: the loop planner's geometry and the
+ * MCE's braided-CNOT executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mce.hpp"
+#include "qecc/braiding.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+using quest::core::Mce;
+using quest::core::MceConfig;
+
+TEST(Braiding, SquaresConflictDetectsOverlapAndAdjacency)
+{
+    const MaskSquare a{Coord{2, 2}, 3};
+    EXPECT_TRUE(squaresConflict(a, MaskSquare{Coord{3, 3}, 3}));
+    // Directly adjacent (perimeters would merge).
+    EXPECT_TRUE(squaresConflict(a, MaskSquare{Coord{2, 5}, 3}));
+    // One free site between them: no conflict.
+    EXPECT_FALSE(squaresConflict(a, MaskSquare{Coord{2, 6}, 3}));
+    EXPECT_FALSE(squaresConflict(a, MaskSquare{Coord{8, 8}, 3}));
+}
+
+class BraidPlannerTest : public ::testing::Test
+{
+  protected:
+    BraidPlannerTest() : lattice(17, 15), planner(lattice) {}
+    Lattice lattice;
+    BraidPlanner planner;
+};
+
+TEST_F(BraidPlannerTest, LoopStartsAndEndsAtHome)
+{
+    const MaskSquare moving{Coord{2, 6}, 1};
+    const MaskSquare target{Coord{10, 6}, 3};
+    const BraidPlan plan = planner.planLoop(moving, target);
+    ASSERT_FALSE(plan.positions.empty());
+    EXPECT_EQ(plan.positions.front(), moving.topLeft);
+    EXPECT_EQ(plan.positions.back(), moving.topLeft);
+    EXPECT_GT(plan.steps(), 8u);
+}
+
+TEST_F(BraidPlannerTest, LoopEnclosesTarget)
+{
+    const MaskSquare moving{Coord{2, 6}, 1};
+    const MaskSquare target{Coord{10, 6}, 3};
+    const BraidPlan plan = planner.planLoop(moving, target);
+    ASSERT_FALSE(plan.positions.empty());
+
+    // The loop must visit positions on all four sides of the target.
+    bool north = false, south = false, east = false, west = false;
+    for (const Coord pos : plan.positions) {
+        if (pos.row < target.topLeft.row
+            && pos.col >= target.topLeft.col - 2
+            && pos.col <= target.topLeft.col + 4)
+            north = true;
+        if (pos.row > target.topLeft.row + 2)
+            south = true;
+        if (pos.col > target.topLeft.col + 2)
+            east = true;
+        if (pos.col < target.topLeft.col)
+            west = true;
+    }
+    EXPECT_TRUE(north);
+    EXPECT_TRUE(south);
+    EXPECT_TRUE(east);
+    EXPECT_TRUE(west);
+}
+
+TEST_F(BraidPlannerTest, StepsAreUnitAxisMoves)
+{
+    const MaskSquare moving{Coord{2, 6}, 1};
+    const MaskSquare target{Coord{10, 6}, 3};
+    const BraidPlan plan = planner.planLoop(moving, target);
+    EXPECT_TRUE(planner.validate(plan, 1, {}));
+}
+
+TEST_F(BraidPlannerTest, OffLatticeLoopIsRejected)
+{
+    // Target hugging the lattice edge: the ring cannot fit.
+    const MaskSquare moving{Coord{2, 2}, 1};
+    const MaskSquare target{Coord{10, 0}, 3};
+    const BraidPlan plan = planner.planLoop(moving, target);
+    EXPECT_TRUE(plan.positions.empty());
+}
+
+TEST_F(BraidPlannerTest, ValidateFlagsObstacleCollision)
+{
+    const MaskSquare moving{Coord{2, 6}, 1};
+    const MaskSquare target{Coord{10, 6}, 3};
+    const BraidPlan plan = planner.planLoop(moving, target);
+    ASSERT_FALSE(plan.positions.empty());
+    // An obstacle sitting right on the ring's south side.
+    const MaskSquare obstacle{Coord{14, 6}, 3};
+    EXPECT_FALSE(planner.validate(plan, 1, { obstacle }));
+}
+
+/** Two stacked logical qubits on one tile for the braid executor. */
+MceConfig
+braidTileConfig()
+{
+    MceConfig cfg;
+    cfg.distance = 3;
+    cfg.latticeRows = 17;
+    cfg.latticeCols = 15;
+    return cfg;
+}
+
+TEST(MceBraid, CnotExecutesAndRestoresMask)
+{
+    Mce mce("mce0", braidTileConfig());
+    const int control = mce.defineLogicalQubit(Coord{2, 6});
+    const int target = mce.defineLogicalQubit(Coord{10, 6});
+
+    const std::size_t masked_before =
+        mce.maskTable().maskedQubitCount();
+    const std::size_t rounds_before = mce.roundsRun();
+
+    const std::size_t steps = mce.braidCnot(control, target);
+    ASSERT_GT(steps, 0u);
+
+    // One code-distance worth of rounds per braid step.
+    EXPECT_EQ(mce.roundsRun() - rounds_before,
+              steps * braidTileConfig().distance);
+    // The mask is exactly restored afterwards.
+    EXPECT_EQ(mce.maskTable().maskedQubitCount(), masked_before);
+}
+
+TEST(MceBraid, NoiselessBraidLeavesNoSyndrome)
+{
+    Mce mce("mce0", braidTileConfig());
+    const int control = mce.defineLogicalQubit(Coord{2, 6});
+    const int target = mce.defineLogicalQubit(Coord{10, 6});
+    ASSERT_GT(mce.braidCnot(control, target), 0u);
+    EXPECT_FALSE(mce.runQeccRound().any());
+    EXPECT_EQ(mce.residualErrorWeight(), 0u);
+}
+
+TEST(MceBraid, InfeasibleBraidIsDroppedCleanly)
+{
+    quest::sim::setQuiet(true);
+    // A cramped tile: two qubits but no room to loop.
+    MceConfig cfg;
+    cfg.distance = 3;
+    cfg.latticeRows = 11;
+    cfg.latticeCols = 15;
+    Mce mce("mce0", cfg);
+    const int control = mce.defineLogicalQubit(Coord{2, 2});
+    const int target = mce.defineLogicalQubit(Coord{6, 2});
+    const std::size_t masked_before =
+        mce.maskTable().maskedQubitCount();
+    EXPECT_EQ(mce.braidCnot(control, target), 0u);
+    EXPECT_EQ(mce.maskTable().maskedQubitCount(), masked_before);
+    quest::sim::setQuiet(false);
+}
+
+TEST(MceBraid, BraidBetweenUnknownQubitsPanics)
+{
+    quest::sim::setQuiet(true);
+    Mce mce("mce0", braidTileConfig());
+    const int control = mce.defineLogicalQubit(Coord{2, 6});
+    EXPECT_THROW(mce.braidCnot(control, 42), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the Union-Find-style cluster decoder, including
+ * cross-checks against the MWPM decoder on every pattern with a
+ * correction guarantee and on random noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decode/cluster_decoder.hpp"
+#include "qecc/distance.hpp"
+#include "qecc/extractor.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace quest::decode;
+using namespace quest::qecc;
+using quest::quantum::PauliFrame;
+using quest::sim::Rng;
+
+struct Harness
+{
+    explicit Harness(std::size_t d)
+        : lattice(Lattice::forDistance(d)),
+          schedule(buildRoundSchedule(lattice,
+                                      protocolSpec(Protocol::Steane))),
+          extractor(schedule),
+          cluster(lattice),
+          mwpm(lattice)
+    {}
+
+    DetectionEvents
+    eventsFor(PauliFrame &frame, std::size_t rounds = 1)
+    {
+        const auto history =
+            extractor.runRounds(frame, nullptr, rounds);
+        return extractDetectionEvents(history, extractor);
+    }
+
+    bool
+    clean(PauliFrame &frame)
+    {
+        return !extractor.runRound(frame, nullptr).any();
+    }
+
+    bool
+    logicalError(PauliFrame &frame)
+    {
+        if (!clean(frame))
+            return true;
+        std::size_t x = 0, z = 0;
+        for (const Coord c : lattice.logicalZSupport())
+            x += frame.xError(lattice.index(c)) ? 1 : 0;
+        for (const Coord c : lattice.logicalXSupport())
+            z += frame.zError(lattice.index(c)) ? 1 : 0;
+        return (x % 2) || (z % 2);
+    }
+
+    Lattice lattice;
+    RoundSchedule schedule;
+    SyndromeExtractor extractor;
+    ClusterDecoder cluster;
+    MwpmDecoder mwpm;
+};
+
+TEST(ClusterDecoder, EmptyEventsEmptyCorrection)
+{
+    Harness h(3);
+    EXPECT_EQ(h.cluster.decode(DetectionEvents{}).weight(), 0u);
+}
+
+TEST(ClusterDecoder, SingleErrorFormsOneCluster)
+{
+    Harness h(5);
+    PauliFrame frame(h.lattice.numQubits());
+    frame.injectX(h.lattice.index(Coord{3, 3}));
+    const auto events = h.eventsFor(frame);
+
+    ClusterStats stats;
+    const Correction corr = h.cluster.decode(events, stats);
+    EXPECT_EQ(stats.clusters, 1u);
+    EXPECT_EQ(stats.largestCluster, 2u);
+    ASSERT_EQ(corr.xFlips.size(), 1u);
+    EXPECT_EQ(corr.xFlips[0], h.lattice.index(Coord{3, 3}));
+}
+
+TEST(ClusterDecoder, SeparatedErrorsFormSeparateClusters)
+{
+    Harness h(7);
+    PauliFrame frame(h.lattice.numQubits());
+    frame.injectX(h.lattice.index(Coord{1, 1}));
+    frame.injectX(h.lattice.index(Coord{11, 11}));
+    const auto events = h.eventsFor(frame);
+
+    ClusterStats stats;
+    const Correction corr = h.cluster.decode(events, stats);
+    EXPECT_EQ(stats.clusters, 2u);
+    applyCorrection(frame, corr);
+    EXPECT_FALSE(h.logicalError(frame));
+}
+
+TEST(ClusterDecoder, BoundaryEventBecomesNeutralCluster)
+{
+    Harness h(5);
+    PauliFrame frame(h.lattice.numQubits());
+    frame.injectX(h.lattice.index(Coord{0, 2})); // top boundary data
+    const auto events = h.eventsFor(frame);
+    ASSERT_EQ(events.zEvents.size(), 1u);
+
+    ClusterStats stats;
+    const Correction corr = h.cluster.decode(events, stats);
+    EXPECT_EQ(stats.clusters, 1u);
+    applyCorrection(frame, corr);
+    EXPECT_FALSE(h.logicalError(frame));
+}
+
+/** Parameterized: every single error corrected at d = 3, 5, 7. */
+class ClusterSingleSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ClusterSingleSweep, EverySingleErrorCorrected)
+{
+    Harness h(GetParam());
+    for (const Coord data : h.lattice.sites(SiteType::Data)) {
+        for (int pauli = 0; pauli < 3; ++pauli) {
+            PauliFrame frame(h.lattice.numQubits());
+            if (pauli == 0 || pauli == 2)
+                frame.injectX(h.lattice.index(data));
+            if (pauli == 1 || pauli == 2)
+                frame.injectZ(h.lattice.index(data));
+            const auto events = h.eventsFor(frame);
+            applyCorrection(frame, h.cluster.decode(events));
+            EXPECT_FALSE(h.logicalError(frame))
+                << "d=" << GetParam() << " (" << data.row << ","
+                << data.col << ") pauli " << pauli;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ClusterSingleSweep,
+                         ::testing::Values(3u, 5u, 7u));
+
+TEST(ClusterDecoder, RandomErrorsWithinGuaranteeCorrected)
+{
+    Rng rng(314);
+    for (std::size_t d : { 3u, 5u, 7u }) {
+        Harness h(d);
+        const auto data = h.lattice.sites(SiteType::Data);
+        const std::size_t t = correctableErrors(d);
+        for (int trial = 0; trial < 60; ++trial) {
+            PauliFrame frame(h.lattice.numQubits());
+            std::set<std::size_t> picked;
+            while (picked.size() < t)
+                picked.insert(rng.uniformInt(data.size()));
+            for (std::size_t k : picked)
+                frame.injectX(h.lattice.index(data[k]));
+            const auto events = h.eventsFor(frame);
+            applyCorrection(frame, h.cluster.decode(events));
+            EXPECT_FALSE(h.logicalError(frame))
+                << "d=" << d << " trial " << trial;
+        }
+    }
+}
+
+TEST(ClusterDecoder, AgreesWithMwpmOnRandomNoise)
+{
+    // Both decoders must return the system to the code space; they
+    // may differ by stabilizers but never disagree on validity.
+    Rng rng(2718);
+    Harness h(7);
+    quest::quantum::ErrorChannel channel(
+        quest::quantum::ErrorRates{2e-3, 0, 0, 0, 2e-3}, rng);
+    for (int trial = 0; trial < 40; ++trial) {
+        PauliFrame frame(h.lattice.numQubits());
+        auto history = h.extractor.runRounds(frame, &channel, 7);
+        history.push_back(h.extractor.runRound(frame, nullptr));
+        const auto events =
+            extractDetectionEvents(history, h.extractor);
+
+        PauliFrame a = frame, b = frame;
+        applyCorrection(a, h.cluster.decode(events));
+        applyCorrection(b, h.mwpm.decode(events));
+        EXPECT_TRUE(h.clean(a)) << "cluster left syndrome, trial "
+                                << trial;
+        EXPECT_TRUE(h.clean(b)) << "mwpm left syndrome, trial "
+                                << trial;
+    }
+}
+
+TEST(ClusterDecoder, TimeLikePairClusterNeedsNoDataCorrection)
+{
+    Harness h(5);
+    DetectionEvents events;
+    events.zEvents.push_back(
+        DetectionEvent{1, Coord{3, 2}, SiteType::ZAncilla});
+    events.zEvents.push_back(
+        DetectionEvent{2, Coord{3, 2}, SiteType::ZAncilla});
+    ClusterStats stats;
+    const Correction corr = h.cluster.decode(events, stats);
+    EXPECT_EQ(stats.clusters, 1u);
+    EXPECT_EQ(corr.weight(), 0u);
+}
+
+TEST(MwpmWeights, TimeWeightSteersMatching)
+{
+    const Lattice lattice = Lattice::forDistance(5);
+    MwpmDecoder decoder(lattice);
+
+    // Two events two rounds apart at adjacent checks: with balanced
+    // weights the time-like pairing (cost 2) ties the space pairing
+    // plus rounds; raising the time weight makes spatial matching
+    // through the boundary cheaper.
+    const DetectionEvent a{0, Coord{1, 2}, SiteType::ZAncilla};
+    const DetectionEvent b{3, Coord{1, 2}, SiteType::ZAncilla};
+    EXPECT_EQ(decoder.distance(a, b), 3u);
+
+    decoder.setEdgeWeights(/*space=*/1, /*time=*/5);
+    EXPECT_EQ(decoder.distance(a, b), 15u);
+    // Boundary (1 data qubit) is now the cheap way out for each.
+    const MatchingResult mr = decoder.matchEvents({ a, b });
+    ASSERT_EQ(mr.matches.size(), 2u);
+    EXPECT_TRUE(mr.matches[0].toBoundary);
+    EXPECT_TRUE(mr.matches[1].toBoundary);
+}
+
+TEST(MwpmWeights, SpaceWeightScalesBoundary)
+{
+    const Lattice lattice = Lattice::forDistance(5);
+    MwpmDecoder decoder(lattice);
+    const DetectionEvent e{0, Coord{3, 2}, SiteType::ZAncilla};
+    const std::uint64_t base = decoder.boundaryDistance(e);
+    decoder.setEdgeWeights(3, 1);
+    EXPECT_EQ(decoder.boundaryDistance(e), base * 3);
+}
+
+TEST(MwpmWeights, ZeroWeightPanics)
+{
+    quest::sim::setQuiet(true);
+    const Lattice lattice = Lattice::forDistance(3);
+    MwpmDecoder decoder(lattice);
+    EXPECT_THROW(decoder.setEdgeWeights(0, 1), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Section-9 concatenated-code hardware/software split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qecc/concatenation.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+
+TEST(Concatenation, LevelErrorSquares)
+{
+    const ConcatenationSpec spec;
+    // p = threshold/10 -> one level gives p/10.
+    EXPECT_NEAR(spec.levelError(1e-5), 1e-6, 1e-18);
+}
+
+TEST(Concatenation, LevelsNeededDoubleExponential)
+{
+    const ConcatenationModel m;
+    // From 1e-5 (one decade under threshold): errors go
+    // 1e-5 -> 1e-6 -> 1e-8 -> 1e-12 -> 1e-20.
+    EXPECT_EQ(m.levelsNeeded(1e-5, 1e-6), 1u);
+    EXPECT_EQ(m.levelsNeeded(1e-5, 1e-8), 2u);
+    EXPECT_EQ(m.levelsNeeded(1e-5, 1e-12), 3u);
+    EXPECT_EQ(m.levelsNeeded(1e-5, 1e-20), 4u);
+}
+
+TEST(Concatenation, OutputErrorComposition)
+{
+    const ConcatenationModel m;
+    EXPECT_NEAR(m.outputError(1e-5, 2), 1e-8, 1e-20);
+}
+
+TEST(Concatenation, AboveThresholdPanics)
+{
+    quest::sim::setQuiet(true);
+    const ConcatenationModel m;
+    EXPECT_THROW(m.levelsNeeded(1e-3, 1e-10), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(Concatenation, QubitOverheadIsSevenPowLevels)
+{
+    const ConcatenationModel m;
+    const ConcatenationPlan plan = m.plan(1e-5, 1e-12);
+    EXPECT_EQ(plan.levels, 3u);
+    EXPECT_DOUBLE_EQ(plan.physicalQubitsPerLogical, 343.0);
+}
+
+TEST(Concatenation, InnerLevelDominatesInstructionRate)
+{
+    // The innermost level has the most qubits and the fastest
+    // cycle: it carries almost all the EC instruction bandwidth --
+    // which is exactly why hardware-managing only level 1 pays off.
+    const ConcatenationModel m;
+    const ConcatenationPlan plan = m.plan(1e-5, 1e-12);
+    EXPECT_GT(plan.softwareInstrPerCycle,
+              60.0 * plan.hybridInstrPerCycle);
+}
+
+TEST(Concatenation, SavingsGrowWithHardwareLevels)
+{
+    const ConcatenationModel m;
+    const ConcatenationPlan one = m.plan(1e-5, 1e-20, 1);
+    const ConcatenationPlan two = m.plan(1e-5, 1e-20, 2);
+    EXPECT_GT(two.savings(), one.savings());
+    EXPECT_DOUBLE_EQ(one.softwareInstrPerCycle,
+                     two.softwareInstrPerCycle);
+    EXPECT_LT(two.hybridInstrPerCycle, one.hybridInstrPerCycle);
+}
+
+TEST(Concatenation, AllLevelsInHardwareLeavesNoSoftwareStream)
+{
+    const ConcatenationModel m;
+    const ConcatenationPlan plan = m.plan(1e-5, 1e-8, 8);
+    EXPECT_DOUBLE_EQ(plan.hybridInstrPerCycle, 0.0);
+}
+
+TEST(Concatenation, SavingsRoughlyBlockTimesSlowdown)
+{
+    // Absorbing one level saves ~ blockSize x cycleSlowdown (=70x
+    // for the defaults) when two levels exist.
+    const ConcatenationModel m;
+    const ConcatenationPlan plan = m.plan(1e-5, 1e-8, 1);
+    ASSERT_EQ(plan.levels, 2u);
+    EXPECT_NEAR(plan.savings(), 70.0, 10.0);
+}
+
+} // namespace

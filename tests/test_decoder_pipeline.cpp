@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the two-level decoder pipeline and its bus accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decode/pipeline.hpp"
+#include "qecc/extractor.hpp"
+
+namespace {
+
+using namespace quest::decode;
+using namespace quest::qecc;
+using quest::quantum::PauliFrame;
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    PipelineTest()
+        : lattice(Lattice::forDistance(5)),
+          schedule(buildRoundSchedule(lattice,
+                                      protocolSpec(Protocol::Steane))),
+          extractor(schedule),
+          pipeline(lattice)
+    {}
+
+    DetectionEvents
+    eventsFor(PauliFrame &frame)
+    {
+        const auto history = extractor.runRounds(frame, nullptr, 1);
+        return extractDetectionEvents(history, extractor);
+    }
+
+    Lattice lattice;
+    RoundSchedule schedule;
+    SyndromeExtractor extractor;
+    DecoderPipeline pipeline;
+};
+
+TEST_F(PipelineTest, IsolatedErrorStaysLocal)
+{
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{3, 3}));
+    const Correction corr = pipeline.decode(eventsFor(frame));
+    EXPECT_EQ(corr.weight(), 1u);
+    EXPECT_DOUBLE_EQ(pipeline.localCoverage(), 1.0);
+    EXPECT_DOUBLE_EQ(pipeline.busBytes(), 0.0);
+}
+
+TEST_F(PipelineTest, ChainsGenerateBusTraffic)
+{
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{3, 3}));
+    frame.injectX(lattice.index(Coord{3, 5}));
+    pipeline.decode(eventsFor(frame));
+    EXPECT_GT(pipeline.busBytes(), 0.0);
+    EXPECT_LT(pipeline.localCoverage(), 1.0);
+}
+
+TEST_F(PipelineTest, CombinedCorrectionClearsSyndrome)
+{
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{3, 3}));
+    frame.injectX(lattice.index(Coord{3, 5}));
+    frame.injectZ(lattice.index(Coord{5, 5}));
+    const Correction corr = pipeline.decode(eventsFor(frame));
+    applyCorrection(frame, corr);
+    EXPECT_FALSE(extractor.runRound(frame, nullptr).any());
+}
+
+TEST_F(PipelineTest, StatsAccumulateAcrossDecodes)
+{
+    for (int i = 0; i < 3; ++i) {
+        PauliFrame frame(lattice.numQubits());
+        frame.injectX(lattice.index(Coord{3, 3}));
+        pipeline.decode(eventsFor(frame));
+    }
+    const auto *total = pipeline.stats().find("events_total");
+    ASSERT_NE(total, nullptr);
+    EXPECT_DOUBLE_EQ(
+        dynamic_cast<const quest::sim::Scalar *>(total)->value(), 6.0);
+}
+
+} // namespace

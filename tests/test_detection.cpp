@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for detection-event extraction from syndrome histories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decode/detection.hpp"
+
+namespace {
+
+using namespace quest::decode;
+using namespace quest::qecc;
+using quest::quantum::PauliFrame;
+
+class DetectionTest : public ::testing::Test
+{
+  protected:
+    DetectionTest()
+        : lattice(Lattice::forDistance(3)),
+          schedule(buildRoundSchedule(lattice,
+                                      protocolSpec(Protocol::Steane))),
+          extractor(schedule)
+    {}
+
+    Lattice lattice;
+    RoundSchedule schedule;
+    SyndromeExtractor extractor;
+};
+
+TEST_F(DetectionTest, PersistentErrorYieldsOneEventPerCheck)
+{
+    // An error injected before round 0 flips the same checks every
+    // round; differencing must report each flip exactly once.
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{1, 1}));
+    const auto history = extractor.runRounds(frame, nullptr, 5);
+
+    const DetectionEvents events =
+        extractDetectionEvents(history, extractor);
+    EXPECT_EQ(events.xEvents.size(), 0u);
+    // Interior data (1,1) touches two Z checks.
+    EXPECT_EQ(events.zEvents.size(), 2u);
+    for (const auto &e : events.zEvents)
+        EXPECT_EQ(e.round, 0u);
+}
+
+TEST_F(DetectionTest, MidRunErrorEventsCarryTheRound)
+{
+    PauliFrame frame(lattice.numQubits());
+    std::vector<SyndromeRound> history;
+    for (int r = 0; r < 3; ++r)
+        history.push_back(extractor.runRound(frame, nullptr));
+    frame.injectZ(lattice.index(Coord{2, 2}));
+    for (int r = 0; r < 3; ++r)
+        history.push_back(extractor.runRound(frame, nullptr));
+
+    const DetectionEvents events =
+        extractDetectionEvents(history, extractor);
+    EXPECT_FALSE(events.xEvents.empty());
+    for (const auto &e : events.xEvents)
+        EXPECT_EQ(e.round, 3u);
+}
+
+TEST_F(DetectionTest, WindowBaselineSuppressesBoundaryArtifacts)
+{
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{1, 1}));
+    auto history = extractor.runRounds(frame, nullptr, 4);
+
+    // Split the history into two windows of two rounds.
+    const std::vector<SyndromeRound> first(history.begin(),
+                                           history.begin() + 2);
+    const std::vector<SyndromeRound> second(history.begin() + 2,
+                                            history.end());
+
+    const DetectionEvents w1 =
+        extractDetectionEventsWindow(first, extractor, nullptr, 0);
+    EXPECT_EQ(w1.zEvents.size(), 2u);
+
+    // With the baseline carried over, the second window is silent;
+    // without it, the persistent flips would re-trigger.
+    const DetectionEvents w2 = extractDetectionEventsWindow(
+        second, extractor, &first.back(), 2);
+    EXPECT_EQ(w2.total(), 0u);
+
+    const DetectionEvents w2_no_baseline =
+        extractDetectionEventsWindow(second, extractor, nullptr, 2);
+    EXPECT_EQ(w2_no_baseline.zEvents.size(), 2u);
+}
+
+TEST_F(DetectionTest, RoundOffsetIsApplied)
+{
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{1, 1}));
+    const auto history = extractor.runRounds(frame, nullptr, 1);
+    const DetectionEvents events =
+        extractDetectionEventsWindow(history, extractor, nullptr, 10);
+    for (const auto &e : events.zEvents)
+        EXPECT_EQ(e.round, 10u);
+}
+
+TEST(Correction, MergeIsXor)
+{
+    Correction a;
+    a.xFlips = {1, 2};
+    a.zFlips = {5};
+    Correction b;
+    b.xFlips = {2, 3};
+    b.zFlips = {5};
+    a.merge(b);
+    std::sort(a.xFlips.begin(), a.xFlips.end());
+    EXPECT_EQ(a.xFlips, (std::vector<std::size_t>{1, 3}));
+    EXPECT_TRUE(a.zFlips.empty());
+}
+
+TEST(Correction, ApplyInjectsIntoFrame)
+{
+    PauliFrame frame(4);
+    Correction c;
+    c.xFlips = {0};
+    c.zFlips = {2};
+    applyCorrection(frame, c);
+    EXPECT_TRUE(frame.xError(0));
+    EXPECT_TRUE(frame.zError(2));
+    // Applying twice cancels.
+    applyCorrection(frame, c);
+    EXPECT_EQ(frame.weight(), 0u);
+}
+
+} // namespace

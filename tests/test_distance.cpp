@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for code-distance selection and resource arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qecc/distance.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+
+TEST(Distance, LogicalErrorDecreasesWithDistance)
+{
+    double prev = 1.0;
+    for (std::size_t d = 3; d <= 15; d += 2) {
+        const double pl = logicalErrorPerRound(1e-4, d);
+        EXPECT_LT(pl, prev);
+        prev = pl;
+    }
+}
+
+TEST(Distance, LogicalErrorScalesAsPowerOfRatio)
+{
+    // P_L(d+2) / P_L(d) == (p / p_th) for the ceil(d/2) exponent.
+    const double ratio = logicalErrorPerRound(1e-4, 7)
+        / logicalErrorPerRound(1e-4, 5);
+    EXPECT_NEAR(ratio, 1e-4 / surfaceCodeThreshold, 1e-15);
+}
+
+TEST(Distance, ChooseDistanceMeetsBudget)
+{
+    const double p = 1e-4;
+    const double rounds = 1e9;
+    const double qubits = 1000;
+    const std::size_t d = chooseDistance(p, rounds, qubits);
+    EXPECT_LT(logicalErrorPerRound(p, d) * rounds * qubits, 0.5);
+    // Minimality: d-2 must not meet the budget (unless d == 3).
+    if (d > 3) {
+        EXPECT_GE(logicalErrorPerRound(p, d - 2) * rounds * qubits,
+                  0.5);
+    }
+}
+
+TEST(Distance, ChooseDistanceIsOdd)
+{
+    for (double p : { 1e-3, 1e-4, 1e-5 }) {
+        const std::size_t d = chooseDistance(p, 1e8, 100);
+        EXPECT_EQ(d % 2, 1u) << "p=" << p;
+    }
+}
+
+TEST(Distance, LowerErrorRateNeedsSmallerDistance)
+{
+    const std::size_t d3 = chooseDistance(1e-3, 1e9, 1000);
+    const std::size_t d4 = chooseDistance(1e-4, 1e9, 1000);
+    const std::size_t d5 = chooseDistance(1e-5, 1e9, 1000);
+    EXPECT_GT(d3, d4);
+    EXPECT_GT(d4, d5);
+}
+
+TEST(Distance, MoreRoundsNeedsLargerOrEqualDistance)
+{
+    const std::size_t small = chooseDistance(1e-4, 1e6, 100);
+    const std::size_t large = chooseDistance(1e-4, 1e12, 100);
+    EXPECT_GE(large, small);
+}
+
+TEST(Distance, AboveThresholdIsFatal)
+{
+    quest::sim::setQuiet(true);
+    EXPECT_THROW(chooseDistance(0.5, 1e6, 10), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(Distance, QubitOverheadModels)
+{
+    // Section 5.1: 12.5 d^2 per double-defect logical qubit;
+    // Section 6.2: the QuRE 7d x 3d patch.
+    EXPECT_DOUBLE_EQ(fowlerQubitsPerLogical(13), 12.5 * 169);
+    EXPECT_DOUBLE_EQ(qureQubitsPerLogical(13), 21.0 * 169);
+    EXPECT_GT(qureQubitsPerLogical(5), fowlerQubitsPerLogical(5));
+}
+
+TEST(Distance, CorrectableErrors)
+{
+    EXPECT_EQ(correctableErrors(3), 1u);
+    EXPECT_EQ(correctableErrors(5), 2u);
+    EXPECT_EQ(correctableErrors(7), 3u);
+}
+
+} // namespace

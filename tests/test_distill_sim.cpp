@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Monte-Carlo validation of the 15-to-1 protocol simulator against
+ * the analytical eps_out = 35 eps^3 model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "distill/simulator.hpp"
+#include "distill/tfactory.hpp"
+
+namespace {
+
+using namespace quest::distill;
+using quest::sim::Rng;
+
+TEST(DistillSim, NoInputErrorsAlwaysAccepted)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(simulateRound(0.0, rng), RoundOutcome::Accepted);
+}
+
+TEST(DistillSim, SingleErrorsAreAlwaysDetected)
+{
+    // A weight-1 error has a nonzero label, so the syndrome flags it:
+    // with eps tiny, rejected rounds dominate errored ones and no
+    // AcceptedBad can come from weight-1 patterns. Verify over many
+    // rounds at moderate eps that acceptance+rejection accounting is
+    // consistent.
+    Rng rng(2);
+    const RoundStats stats = simulateRounds(0.01, 200000, rng);
+    EXPECT_EQ(stats.accepted + stats.acceptedBad + stats.rejected,
+              stats.rounds);
+    // P(reject) ~= 15 eps = 0.15 at leading order.
+    const double p_reject = double(stats.rejected)
+        / double(stats.rounds);
+    EXPECT_NEAR(p_reject, 0.15, 0.015);
+}
+
+TEST(DistillSim, OutputErrorMatches35EpsCubed)
+{
+    // At eps = 0.02, eps_out ~= 35 * 8e-6 = 2.8e-4; with 4e6 rounds
+    // we expect ~1100 bad acceptances -- enough for a 20% check.
+    Rng rng(3);
+    const double eps = 0.02;
+    const RoundStats stats = simulateRounds(eps, 4000000, rng);
+    const double predicted = DistillationSpec{}.roundOutputError(eps);
+    EXPECT_GT(stats.acceptedBad, 0u);
+    EXPECT_NEAR(stats.outputErrorRate(), predicted, predicted * 0.2);
+}
+
+TEST(DistillSim, LowerInputErrorLowersOutputError)
+{
+    Rng rng(4);
+    const RoundStats coarse = simulateRounds(0.05, 1000000, rng);
+    const RoundStats fine = simulateRounds(0.01, 1000000, rng);
+    EXPECT_GT(coarse.outputErrorRate(), fine.outputErrorRate());
+}
+
+TEST(DistillSim, AcceptanceRateDropsWithError)
+{
+    Rng rng(5);
+    const RoundStats clean = simulateRounds(0.001, 200000, rng);
+    const RoundStats dirty = simulateRounds(0.05, 200000, rng);
+    EXPECT_GT(clean.acceptanceRate(), dirty.acceptanceRate());
+}
+
+} // namespace

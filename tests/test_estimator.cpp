@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests that the resource estimator reproduces the paper's headline
+ * claims: the QECC dominance of Figure 6, the T-factory overhead of
+ * Figure 13, the savings bands of Figure 14, and the error-rate
+ * sensitivity of Figure 15.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "workloads/estimator.hpp"
+
+namespace {
+
+using namespace quest::workloads;
+using quest::qecc::Protocol;
+using quest::tech::Technology;
+
+TEST(Estimator, QeccDominatesInstructionStream)
+{
+    // Section 1/3.3: ">99.999% of instructions stem from error
+    // correction", i.e. the QECC:regular ratio exceeds 1e5 ... and
+    // Figure 6 spans about 4 to 9 orders of magnitude.
+    const ResourceEstimator est;
+    for (const auto &w : workloadSuite()) {
+        const ResourceEstimate r = est.estimate(w);
+        EXPECT_GE(r.qeccRatio(), 1e4) << w.name;
+        EXPECT_LE(r.qeccRatio(), 1e10) << w.name;
+    }
+}
+
+TEST(Estimator, QeccShareExceedsFiveNines)
+{
+    const ResourceEstimator est;
+    const ResourceEstimate r = est.estimate(shor(512));
+    const double share = r.qeccInstructions
+        / (r.qeccInstructions + r.appInstructions
+           + r.distillInstructions);
+    EXPECT_GT(share, 0.99999);
+}
+
+TEST(Estimator, LargerWorkloadsBloatMore)
+{
+    const ResourceEstimator est;
+    const double small = est.estimate(tfp()).qeccRatio();
+    const double large = est.estimate(femoco()).qeccRatio();
+    EXPECT_GT(large, small * 10);
+}
+
+TEST(Estimator, TFactoryRatioMatchesFigure13Band)
+{
+    // Figure 13: distillation instructions outnumber application
+    // instructions by roughly one to three orders of magnitude.
+    const ResourceEstimator est;
+    for (const auto &w : workloadSuite()) {
+        const ResourceEstimate r = est.estimate(w);
+        EXPECT_GE(r.tFactoryRatio(), 10.0) << w.name;
+        EXPECT_LE(r.tFactoryRatio(), 1e4) << w.name;
+    }
+}
+
+TEST(Estimator, McesSaveAtLeastFiveOrders)
+{
+    // Figure 14: "Managing QECC instruction in the MCEs reduces the
+    // instruction bandwidth by at least five orders of magnitude."
+    const ResourceEstimator est;
+    for (const auto &w : workloadSuite()) {
+        const ResourceEstimate r = est.estimate(w);
+        EXPECT_GE(r.mceSavings(), 1e5) << w.name;
+    }
+}
+
+TEST(Estimator, CachingAddsRoughlyThreeOrders)
+{
+    const ResourceEstimator est;
+    for (const auto &w : workloadSuite()) {
+        const ResourceEstimate r = est.estimate(w);
+        const double cache_gain = r.totalSavings() / r.mceSavings();
+        EXPECT_GE(cache_gain, 10.0) << w.name;
+        EXPECT_LE(cache_gain, 1e4) << w.name;
+    }
+}
+
+TEST(Estimator, TotalSavingsAroundEightOrders)
+{
+    const ResourceEstimator est;
+    double geometric = 0.0;
+    const auto suite = workloadSuite();
+    for (const auto &w : suite)
+        geometric += std::log10(est.estimate(w).totalSavings());
+    geometric /= double(suite.size());
+    // Paper: "almost eight orders of magnitude".
+    EXPECT_GE(geometric, 7.0);
+    EXPECT_LE(geometric, 10.0);
+}
+
+TEST(Estimator, ConfigurationsBarelyMoveSavings)
+{
+    // Section 7: coefficient of variation across technology and
+    // syndrome configurations is tiny -- the savings are a property
+    // of the instruction mix, not of the gate latencies.
+    std::vector<double> savings;
+    for (Technology tech :
+         { Technology::ExperimentalS, Technology::ProjectedD }) {
+        for (Protocol proto : { Protocol::Steane, Protocol::Shor }) {
+            EstimatorConfig cfg;
+            cfg.technology = tech;
+            cfg.protocol = proto;
+            const ResourceEstimator est(cfg);
+            savings.push_back(
+                std::log10(est.estimate(shor(512)).totalSavings()));
+        }
+    }
+    const double minv = *std::min_element(savings.begin(),
+                                          savings.end());
+    const double maxv = *std::max_element(savings.begin(),
+                                          savings.end());
+    EXPECT_LT(maxv - minv, 0.35); // within a third of a decade
+}
+
+TEST(Estimator, Figure2BandwidthScalesLinearlyWithQubits)
+{
+    const ResourceEstimator est;
+    const ResourceEstimate a = est.estimate(shor(128));
+    const ResourceEstimate b = est.estimate(shor(1024));
+    EXPECT_NEAR(b.baselineBandwidth / a.baselineBandwidth,
+                b.physicalQubits / a.physicalQubits, 1e-9);
+    EXPECT_GT(b.physicalQubits, a.physicalQubits);
+}
+
+TEST(Estimator, Shor1024NeedsTerabytesPerSecond)
+{
+    // Figure 2's headline: ~100 TB/s at 1024 bits (order of
+    // magnitude; our patch model lands within a decade).
+    const ResourceEstimator est;
+    const ResourceEstimate r = est.estimate(shor(1024));
+    EXPECT_GE(r.baselineBandwidth, 1e13);
+    EXPECT_LE(r.baselineBandwidth, 1e16);
+    EXPECT_GT(r.physicalQubits, 1e5); // "millions of qubits"
+}
+
+TEST(Estimator, Figure15LowerErrorRateShrinksQeccSavings)
+{
+    // Figure 15: reducing the physical error rate reduces the
+    // baseline bloat (fewer physical qubits) while the distillation
+    // overhead stays put, so MCE savings shrink.
+    std::vector<double> mce_savings;
+    for (double p : { 1e-3, 1e-4, 1e-5 }) {
+        EstimatorConfig cfg;
+        cfg.physicalErrorRate = p;
+        const ResourceEstimator est(cfg);
+        mce_savings.push_back(est.estimate(shor(512)).mceSavings());
+    }
+    EXPECT_GT(mce_savings[0], mce_savings[1]);
+    EXPECT_GT(mce_savings[1], mce_savings[2]);
+}
+
+TEST(Estimator, DistanceRespondsToErrorRate)
+{
+    std::set<std::size_t> distances;
+    for (double p : { 1e-3, 1e-4, 1e-5 }) {
+        EstimatorConfig cfg;
+        cfg.physicalErrorRate = p;
+        const ResourceEstimator est(cfg);
+        distances.insert(est.estimate(shor(512)).codeDistance);
+    }
+    EXPECT_GT(distances.size(), 1u);
+}
+
+TEST(Estimator, QurePatchCostsMoreThanDefectPair)
+{
+    EstimatorConfig patch_cfg;
+    patch_cfg.qurePatch = true;
+    EstimatorConfig defect_cfg;
+    defect_cfg.qurePatch = false;
+    const double patch = ResourceEstimator(patch_cfg)
+        .estimate(qls()).physicalQubits;
+    const double defect = ResourceEstimator(defect_cfg)
+        .estimate(qls()).physicalQubits;
+    EXPECT_GT(patch, defect);
+}
+
+TEST(Estimator, ExecutionTimeScalesWithTechnology)
+{
+    EstimatorConfig slow_cfg;
+    slow_cfg.technology = Technology::ExperimentalS;
+    EstimatorConfig fast_cfg;
+    fast_cfg.technology = Technology::ProjectedD;
+    const double slow = ResourceEstimator(slow_cfg)
+        .estimate(bwt()).execTimeSeconds;
+    const double fast = ResourceEstimator(fast_cfg)
+        .estimate(bwt()).execTimeSeconds;
+    EXPECT_GT(slow, fast * 10);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::sim;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, defaultPriority);
+    q.schedule(5, [&] { order.push_back(3); }, statsPriority);
+    q.schedule(5, [&] { order.push_back(1); }, clockPriority);
+    q.schedule(5, [&] { order.push_back(4); }, statsPriority);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, LimitStopsBeforeLaterEvents)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(100, [&] { ++ran; });
+    EXPECT_EQ(q.run(50), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    setQuiet(true);
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(50, [] {}), SimError);
+    setQuiet(false);
+}
+
+TEST(EventQueue, RunOneTickRunsOnlyOneTimestamp)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(20, [&] { ++ran; });
+    EXPECT_EQ(q.runOneTick(), 2u);
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(ClockDomain, CycleTickConversions)
+{
+    const ClockDomain dom("qubit", 10000); // 100 MHz
+    EXPECT_EQ(dom.cycleToTick(3), 30000u);
+    EXPECT_EQ(dom.tickToCycle(35000), 3u);
+    EXPECT_EQ(dom.ceilCycles(25000), 3u);
+    EXPECT_NEAR(dom.frequencyHz(), 100e6, 1.0);
+}
+
+TEST(ClockDomain, FromHzMatchesPeriod)
+{
+    const ClockDomain dom = ClockDomain::fromHz("jj", 10e9);
+    EXPECT_EQ(dom.period(), 100u);
+}
+
+class Counter : public Clocked
+{
+  public:
+    using Clocked::Clocked;
+    int ticks = 0;
+
+  protected:
+    void tick() override { ++ticks; }
+};
+
+TEST(Clocked, StepAdvancesCycleAndCallsTick)
+{
+    const ClockDomain dom("test", 100);
+    Counter c(dom);
+    c.stepN(5);
+    EXPECT_EQ(c.ticks, 5);
+    EXPECT_EQ(c.curCycle(), 5u);
+}
+
+} // namespace

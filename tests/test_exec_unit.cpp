@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the prime-line execution unit model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/exec_unit.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::core;
+using quest::isa::PhysOpcode;
+
+TEST(ExecUnit, LatchesHoldUntilOverwritten)
+{
+    quest::sim::StatGroup stats("test");
+    QuantumExecutionUnit xu(4, stats);
+    xu.latch(1, PhysOpcode::Hadamard);
+    EXPECT_EQ(xu.latched(1), PhysOpcode::Hadamard);
+    EXPECT_EQ(xu.latched(0), PhysOpcode::Nop);
+
+    xu.masterClock();
+    // Still latched after firing (switches hold their value).
+    EXPECT_EQ(xu.latched(1), PhysOpcode::Hadamard);
+
+    xu.latch(1, PhysOpcode::MeasZ);
+    EXPECT_EQ(xu.latched(1), PhysOpcode::MeasZ);
+}
+
+TEST(ExecUnit, MasterClockReturnsAllLatchedUops)
+{
+    quest::sim::StatGroup stats("test");
+    QuantumExecutionUnit xu(3, stats);
+    xu.latch(0, PhysOpcode::PrepZ);
+    xu.latch(2, PhysOpcode::CnotN);
+    const auto &fired = xu.masterClock();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], PhysOpcode::PrepZ);
+    EXPECT_EQ(fired[1], PhysOpcode::Nop);
+    EXPECT_EQ(fired[2], PhysOpcode::CnotN);
+}
+
+TEST(ExecUnit, AccountingCountsLatchesClocksAndFires)
+{
+    quest::sim::StatGroup stats("test");
+    QuantumExecutionUnit xu(4, stats);
+    xu.latch(0, PhysOpcode::PrepZ);
+    xu.latch(1, PhysOpcode::Nop);
+    xu.masterClock(); // fires PrepZ (1 non-NOP)
+    xu.latch(2, PhysOpcode::MeasZ);
+    xu.masterClock(); // fires PrepZ + MeasZ (2 non-NOP)
+
+    EXPECT_DOUBLE_EQ(xu.latchCount(), 3.0);
+    EXPECT_DOUBLE_EQ(xu.masterClockCount(), 2.0);
+    EXPECT_DOUBLE_EQ(xu.firedInstructionCount(), 3.0);
+}
+
+TEST(ExecUnit, OutOfRangeLatchPanics)
+{
+    quest::sim::setQuiet(true);
+    quest::sim::StatGroup stats("test");
+    QuantumExecutionUnit xu(2, stats);
+    EXPECT_THROW(xu.latch(5, PhysOpcode::PrepZ),
+                 quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Functional tests of syndrome extraction: injected Pauli errors
+ * must flip exactly the stabilizers whose support they touch, in
+ * both the Pauli-frame executor and the full tableau cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qecc/extractor.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+using quest::quantum::ErrorChannel;
+using quest::quantum::ErrorRates;
+using quest::quantum::PauliFrame;
+using quest::quantum::Tableau;
+using quest::sim::Rng;
+
+class ExtractorTest : public ::testing::Test
+{
+  protected:
+    ExtractorTest()
+        : lattice(Lattice::forDistance(3)),
+          schedule(buildRoundSchedule(lattice,
+                                      protocolSpec(Protocol::Steane))),
+          extractor(schedule)
+    {}
+
+    /** Indices of ancillas expected to flip for an error at `data`. */
+    std::set<std::size_t>
+    expectedChecks(Coord data, SiteType check_type) const
+    {
+        std::set<std::size_t> out;
+        const auto &list = check_type == SiteType::XAncilla
+            ? extractor.xAncillas() : extractor.zAncillas();
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            for (const Coord dq : lattice.stabilizerSupport(list[i]))
+                if (dq == data)
+                    out.insert(i);
+        }
+        return out;
+    }
+
+    Lattice lattice;
+    RoundSchedule schedule;
+    SyndromeExtractor extractor;
+};
+
+TEST_F(ExtractorTest, NoiselessRoundIsClean)
+{
+    PauliFrame frame(lattice.numQubits());
+    const SyndromeRound round = extractor.runRound(frame, nullptr);
+    EXPECT_FALSE(round.any());
+}
+
+TEST_F(ExtractorTest, SingleXErrorFlipsAdjacentZChecks)
+{
+    for (const Coord data : lattice.sites(SiteType::Data)) {
+        PauliFrame frame(lattice.numQubits());
+        frame.injectX(lattice.index(data));
+        const SyndromeRound round = extractor.runRound(frame, nullptr);
+
+        const auto expected = expectedChecks(data, SiteType::ZAncilla);
+        for (std::size_t i = 0; i < round.zFlips.size(); ++i) {
+            EXPECT_EQ(bool(round.zFlips[i]), expected.contains(i))
+                << "data (" << data.row << "," << data.col
+                << ") z-check " << i;
+        }
+        // X errors never flip X checks.
+        for (const auto f : round.xFlips)
+            EXPECT_EQ(f, 0);
+    }
+}
+
+TEST_F(ExtractorTest, SingleZErrorFlipsAdjacentXChecks)
+{
+    for (const Coord data : lattice.sites(SiteType::Data)) {
+        PauliFrame frame(lattice.numQubits());
+        frame.injectZ(lattice.index(data));
+        const SyndromeRound round = extractor.runRound(frame, nullptr);
+
+        const auto expected = expectedChecks(data, SiteType::XAncilla);
+        for (std::size_t i = 0; i < round.xFlips.size(); ++i) {
+            EXPECT_EQ(bool(round.xFlips[i]), expected.contains(i))
+                << "data (" << data.row << "," << data.col
+                << ") x-check " << i;
+        }
+        for (const auto f : round.zFlips)
+            EXPECT_EQ(f, 0);
+    }
+}
+
+TEST_F(ExtractorTest, YErrorFlipsBothCheckTypes)
+{
+    const Coord data{2, 2}; // interior data qubit
+    PauliFrame frame(lattice.numQubits());
+    frame.injectY(lattice.index(data));
+    const SyndromeRound round = extractor.runRound(frame, nullptr);
+    EXPECT_GT(round.weight(), 0u);
+
+    const auto expected_z = expectedChecks(data, SiteType::ZAncilla);
+    const auto expected_x = expectedChecks(data, SiteType::XAncilla);
+    std::size_t z_hits = 0, x_hits = 0;
+    for (std::size_t i = 0; i < round.zFlips.size(); ++i)
+        if (round.zFlips[i])
+            ++z_hits;
+    for (std::size_t i = 0; i < round.xFlips.size(); ++i)
+        if (round.xFlips[i])
+            ++x_hits;
+    EXPECT_EQ(z_hits, expected_z.size());
+    EXPECT_EQ(x_hits, expected_x.size());
+}
+
+TEST_F(ExtractorTest, ErrorPersistsAcrossRounds)
+{
+    // An uncorrected error keeps reporting the same syndrome.
+    PauliFrame frame(lattice.numQubits());
+    frame.injectX(lattice.index(Coord{1, 1}));
+    const SyndromeRound first = extractor.runRound(frame, nullptr);
+    const SyndromeRound second = extractor.runRound(frame, nullptr);
+    EXPECT_EQ(first.zFlips, second.zFlips);
+    EXPECT_TRUE(first.any());
+}
+
+TEST_F(ExtractorTest, LogicalOperatorIsSyndromeFree)
+{
+    // A full logical-X chain flips no stabilizers: undetectable.
+    PauliFrame frame(lattice.numQubits());
+    for (const Coord c : lattice.logicalXSupport())
+        frame.injectX(lattice.index(c));
+    const SyndromeRound round = extractor.runRound(frame, nullptr);
+    EXPECT_FALSE(round.any());
+}
+
+TEST_F(ExtractorTest, StabilizerProductIsSyndromeFree)
+{
+    // Applying a stabilizer itself is invisible to the code.
+    PauliFrame frame(lattice.numQubits());
+    const Coord check{1, 2}; // a Z ancilla
+    ASSERT_EQ(lattice.siteType(check), SiteType::ZAncilla);
+    for (const Coord dq : lattice.stabilizerSupport(check))
+        frame.injectZ(lattice.index(dq));
+    // The Z stabilizer commutes with every check: each adjacent X
+    // check shares exactly two data qubits with it, so the flips
+    // cancel and the whole round is silent.
+    const SyndromeRound round = extractor.runRound(frame, nullptr);
+    EXPECT_FALSE(round.any());
+}
+
+TEST_F(ExtractorTest, FrameMatchesTableauForSingleErrors)
+{
+    // Cross-validate the two execution models: inject the same
+    // error, run one round on each, compare syndromes. The tableau
+    // needs a stabilizing first round to fix gauge freedom.
+    Rng rng(42);
+    for (const Coord data : lattice.sites(SiteType::Data)) {
+        Tableau tableau(lattice.numQubits());
+        const SyndromeRound baseline =
+            runRoundOnTableau(schedule, tableau, rng);
+
+        quest::quantum::PauliString err(lattice.numQubits());
+        err.set(lattice.index(data), quest::quantum::Pauli::X);
+        tableau.applyPauli(err);
+        const SyndromeRound after =
+            runRoundOnTableau(schedule, tableau, rng);
+
+        PauliFrame frame(lattice.numQubits());
+        frame.injectX(lattice.index(data));
+        const SyndromeRound frame_round =
+            extractor.runRound(frame, nullptr);
+
+        // Tableau flip = XOR against its own baseline.
+        for (std::size_t i = 0; i < after.zFlips.size(); ++i) {
+            ASSERT_EQ(after.zFlips[i] ^ baseline.zFlips[i],
+                      frame_round.zFlips[i])
+                << "data (" << data.row << "," << data.col << ")";
+        }
+    }
+}
+
+TEST_F(ExtractorTest, NoisyRoundsProduceSyndromes)
+{
+    Rng rng(7);
+    ErrorChannel channel(ErrorRates::uniform(0.05), rng);
+    PauliFrame frame(lattice.numQubits());
+    std::size_t total = 0;
+    for (int r = 0; r < 50; ++r)
+        total += extractor.runRound(frame, &channel).weight();
+    EXPECT_GT(total, 0u);
+}
+
+TEST(ExtractorProtocols, AllProtocolsDetectSingleError)
+{
+    const Lattice lattice = Lattice::forDistance(3);
+    for (Protocol p :
+         { Protocol::Steane, Protocol::Shor, Protocol::SC17,
+           Protocol::SC13 }) {
+        const RoundSchedule sched =
+            buildRoundSchedule(lattice, protocolSpec(p));
+        const SyndromeExtractor ext(sched);
+        PauliFrame frame(lattice.numQubits());
+        frame.injectX(lattice.index(Coord{2, 2}));
+        EXPECT_TRUE(ext.runRound(frame, nullptr).any())
+            << protocolName(p);
+    }
+}
+
+} // namespace

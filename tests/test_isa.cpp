@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for opcodes and instruction encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instructions.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::isa;
+
+TEST(Opcodes, PhysNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < physOpcodeCount; ++i)
+        names.insert(physOpcodeName(static_cast<PhysOpcode>(i)));
+    EXPECT_EQ(names.size(), physOpcodeCount);
+}
+
+TEST(Opcodes, TwoQubitClassification)
+{
+    EXPECT_TRUE(isTwoQubit(PhysOpcode::CnotN));
+    EXPECT_TRUE(isTwoQubit(PhysOpcode::CnotTargetW));
+    EXPECT_FALSE(isTwoQubit(PhysOpcode::Hadamard));
+    EXPECT_FALSE(isTwoQubit(PhysOpcode::MeasZ));
+}
+
+TEST(Opcodes, MeasurementClassification)
+{
+    EXPECT_TRUE(isMeasurement(PhysOpcode::MeasZ));
+    EXPECT_TRUE(isMeasurement(PhysOpcode::MeasX));
+    EXPECT_FALSE(isMeasurement(PhysOpcode::PrepZ));
+}
+
+TEST(Opcodes, LogicalClassification)
+{
+    EXPECT_TRUE(isMaskInstruction(LogicalOpcode::Braid));
+    EXPECT_TRUE(isMaskInstruction(LogicalOpcode::MaskMove));
+    EXPECT_FALSE(isMaskInstruction(LogicalOpcode::T));
+    EXPECT_TRUE(isTransverse(LogicalOpcode::Hadamard));
+    EXPECT_FALSE(isTransverse(LogicalOpcode::Cnot));
+    EXPECT_FALSE(isTransverse(LogicalOpcode::MaskExpand));
+}
+
+TEST(Opcodes, LogicalOpcodesFitFourBits)
+{
+    // The 2-byte encoding reserves 4 bits for the opcode.
+    EXPECT_LE(logicalOpcodeCount, 16u);
+}
+
+TEST(Instructions, OpcodeBitsIsCeilLog2)
+{
+    EXPECT_EQ(opcodeBits(1), 1u);
+    EXPECT_EQ(opcodeBits(2), 1u);
+    EXPECT_EQ(opcodeBits(8), 3u);
+    EXPECT_EQ(opcodeBits(9), 4u);
+    EXPECT_EQ(opcodeBits(12), 4u);
+    EXPECT_EQ(opcodeBits(16), 4u);
+    EXPECT_EQ(opcodeBits(17), 5u);
+}
+
+TEST(Instructions, AddressBits)
+{
+    EXPECT_EQ(addressBits(1), 1u);
+    EXPECT_EQ(addressBits(48), 6u);
+    EXPECT_EQ(addressBits(64), 6u);
+    EXPECT_EQ(addressBits(65), 7u);
+}
+
+TEST(Instructions, RamVsFifoUopBits)
+{
+    // The FIFO design drops the address bits (Section 4.5).
+    EXPECT_EQ(ramUopBits(12, 64), 4u + 6u);
+    EXPECT_EQ(fifoUopBits(12), 4u);
+    EXPECT_LT(fifoUopBits(12), ramUopBits(12, 64));
+}
+
+TEST(Instructions, LogicalEncodeDecodeRoundTrip)
+{
+    for (std::size_t op = 0; op < logicalOpcodeCount; ++op) {
+        for (std::uint16_t operand : { 0, 1, 42, 4095 }) {
+            const LogicalInstr in{static_cast<LogicalOpcode>(op),
+                                  operand};
+            const LogicalInstr out = LogicalInstr::decode(in.encode());
+            ASSERT_EQ(out, in);
+        }
+    }
+}
+
+TEST(Instructions, EncodedSizeIsTwoBytes)
+{
+    const LogicalInstr instr{LogicalOpcode::T, 7};
+    EXPECT_EQ(sizeof(instr.encode()), 2u);
+}
+
+TEST(Instructions, OperandOverflowPanics)
+{
+    quest::sim::setQuiet(true);
+    const LogicalInstr instr{LogicalOpcode::T, 0x1000};
+    EXPECT_THROW(instr.encode(), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(Instructions, ToStringIsReadable)
+{
+    EXPECT_EQ((LogicalInstr{LogicalOpcode::T, 3}).toString(), "LT L3");
+    EXPECT_EQ((PhysInstr{PhysOpcode::CnotN, 12}).toString(),
+              "CNOT_N q12");
+}
+
+} // namespace

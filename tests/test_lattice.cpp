@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for surface-code lattice geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qecc/lattice.hpp"
+#include "quantum/pauli.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+
+TEST(Lattice, SiteClassificationCheckerboard)
+{
+    const Lattice lat(5, 5);
+    EXPECT_EQ(lat.siteType(Coord{0, 0}), SiteType::Data);
+    EXPECT_EQ(lat.siteType(Coord{1, 1}), SiteType::Data);
+    EXPECT_EQ(lat.siteType(Coord{0, 1}), SiteType::XAncilla);
+    EXPECT_EQ(lat.siteType(Coord{1, 0}), SiteType::ZAncilla);
+    EXPECT_EQ(lat.siteType(Coord{2, 3}), SiteType::XAncilla);
+    EXPECT_EQ(lat.siteType(Coord{3, 2}), SiteType::ZAncilla);
+}
+
+TEST(Lattice, UnitCellIs25Qubits)
+{
+    // Figure 17: the 5x5 unit cell.
+    const Lattice cell(5, 5);
+    EXPECT_EQ(cell.numQubits(), 25u);
+    EXPECT_EQ(cell.countSites(SiteType::Data), 13u);
+    EXPECT_EQ(cell.countSites(SiteType::XAncilla), 6u);
+    EXPECT_EQ(cell.countSites(SiteType::ZAncilla), 6u);
+}
+
+TEST(Lattice, ForDistanceDimensions)
+{
+    for (std::size_t d : { 3u, 5u, 7u }) {
+        const Lattice lat = Lattice::forDistance(d);
+        EXPECT_EQ(lat.rows(), 2 * d - 1);
+        EXPECT_EQ(lat.cols(), 2 * d - 1);
+    }
+}
+
+TEST(Lattice, DistanceLatticeEncodesOneLogicalQubit)
+{
+    // #data - #stabilizers == 1 for the planar code.
+    for (std::size_t d : { 3u, 5u, 7u }) {
+        const Lattice lat = Lattice::forDistance(d);
+        const std::size_t data = lat.countSites(SiteType::Data);
+        const std::size_t checks =
+            lat.countSites(SiteType::XAncilla)
+            + lat.countSites(SiteType::ZAncilla);
+        EXPECT_EQ(data - checks, 1u) << "d=" << d;
+    }
+}
+
+TEST(Lattice, IndexCoordRoundTrip)
+{
+    const Lattice lat(7, 9);
+    for (std::size_t i = 0; i < lat.numQubits(); ++i)
+        EXPECT_EQ(lat.index(lat.coord(i)), i);
+}
+
+TEST(Lattice, NeighbourRespectsBoundaries)
+{
+    const Lattice lat(5, 5);
+    EXPECT_FALSE(lat.neighbour(Coord{0, 0}, Direction::North));
+    EXPECT_FALSE(lat.neighbour(Coord{0, 0}, Direction::West));
+    const auto east = lat.neighbour(Coord{0, 0}, Direction::East);
+    ASSERT_TRUE(east);
+    EXPECT_EQ(*east, (Coord{0, 1}));
+}
+
+TEST(Lattice, StabilizerSupportInteriorIsWeightFour)
+{
+    const Lattice lat = Lattice::forDistance(5);
+    const auto support = lat.stabilizerSupport(Coord{2, 3});
+    EXPECT_EQ(support.size(), 4u);
+    for (const Coord c : support)
+        EXPECT_TRUE(lat.isData(c));
+}
+
+TEST(Lattice, StabilizerSupportBoundaryIsTruncated)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    // Top-row X check has no northern data qubit.
+    EXPECT_EQ(lat.stabilizerSupport(Coord{0, 1}).size(), 3u);
+}
+
+TEST(Lattice, LogicalOperatorsHaveWeightD)
+{
+    for (std::size_t d : { 3u, 5u, 7u }) {
+        const Lattice lat = Lattice::forDistance(d);
+        EXPECT_EQ(lat.logicalXSupport().size(), d);
+        EXPECT_EQ(lat.logicalZSupport().size(), d);
+    }
+}
+
+/**
+ * The logical operators must commute with every stabilizer and
+ * anticommute with each other -- the defining algebra of the encoded
+ * qubit. Verified with explicit PauliStrings.
+ */
+TEST(Lattice, LogicalOperatorAlgebra)
+{
+    using quest::quantum::Pauli;
+    using quest::quantum::PauliString;
+
+    const Lattice lat = Lattice::forDistance(3);
+    const std::size_t n = lat.numQubits();
+
+    PauliString logical_x(n), logical_z(n);
+    for (const Coord c : lat.logicalXSupport())
+        logical_x.set(lat.index(c), Pauli::X);
+    for (const Coord c : lat.logicalZSupport())
+        logical_z.set(lat.index(c), Pauli::Z);
+
+    EXPECT_FALSE(logical_x.commutesWith(logical_z));
+
+    for (const Coord anc : lat.sites(SiteType::XAncilla)) {
+        PauliString stab(n);
+        for (const Coord dq : lat.stabilizerSupport(anc))
+            stab.set(lat.index(dq), Pauli::X);
+        EXPECT_TRUE(stab.commutesWith(logical_x));
+        EXPECT_TRUE(stab.commutesWith(logical_z))
+            << "X check at (" << anc.row << "," << anc.col << ")";
+    }
+    for (const Coord anc : lat.sites(SiteType::ZAncilla)) {
+        PauliString stab(n);
+        for (const Coord dq : lat.stabilizerSupport(anc))
+            stab.set(lat.index(dq), Pauli::Z);
+        EXPECT_TRUE(stab.commutesWith(logical_x))
+            << "Z check at (" << anc.row << "," << anc.col << ")";
+        EXPECT_TRUE(stab.commutesWith(logical_z));
+    }
+}
+
+TEST(Lattice, TooSmallLatticePanics)
+{
+    quest::sim::setQuiet(true);
+    EXPECT_THROW(Lattice(2, 5), quest::sim::SimError);
+    EXPECT_THROW(Lattice(5, 2), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for panic/fatal/warn semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::sim;
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsSimErrorWithMessage)
+{
+    try {
+        panic("bad state %d", 42);
+        FAIL() << "panic returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Panic);
+        EXPECT_STREQ(e.what(), "bad state 42");
+    }
+}
+
+TEST_F(LoggingTest, FatalThrowsFatalKind)
+{
+    try {
+        fatal("bad config: %s", "oops");
+        FAIL() << "fatal returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Fatal);
+        EXPECT_STREQ(e.what(), "bad config: oops");
+    }
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(QUEST_ASSERT(1 + 1 == 2, "math %d", 1));
+}
+
+TEST_F(LoggingTest, AssertThrowsWithConditionText)
+{
+    try {
+        QUEST_ASSERT(false, "value was %d", 7);
+        FAIL() << "assert did not fire";
+    } catch (const SimError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'false'"), std::string::npos);
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning %d", 1));
+    EXPECT_NO_THROW(inform("status %s", "ok"));
+}
+
+} // namespace

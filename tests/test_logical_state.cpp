@@ -1,0 +1,138 @@
+/**
+ * @file
+ * State-level validation on the full stabilizer tableau: the
+ * strongest correctness statement in the suite. A logical |0> is
+ * prepared by one stabilizing round, errors are injected as real
+ * Pauli operators on the quantum state, syndrome extraction runs as
+ * a genuine quantum circuit, the decoder's correction is applied
+ * back to the state -- and the logical Z expectation value must
+ * return to +1. No Pauli-frame shortcuts anywhere in the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decode/mwpm_decoder.hpp"
+#include "qecc/extractor.hpp"
+#include "quantum/tableau.hpp"
+
+namespace {
+
+using namespace quest;
+using quantum::Pauli;
+using quantum::PauliString;
+using quantum::Tableau;
+
+class LogicalStateTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    LogicalStateTest()
+        : lattice(qecc::Lattice::forDistance(GetParam())),
+          schedule(qecc::buildRoundSchedule(
+              lattice, qecc::protocolSpec(qecc::Protocol::Steane))),
+          extractor(schedule),
+          decoder(lattice),
+          rng(7)
+    {}
+
+    /** The logical Z operator as a PauliString. */
+    PauliString
+    logicalZ() const
+    {
+        PauliString out(lattice.numQubits());
+        for (const qecc::Coord c : lattice.logicalZSupport())
+            out.set(lattice.index(c), Pauli::Z);
+        return out;
+    }
+
+    /** One stabilizing round: projects |0..0> into the code space. */
+    qecc::SyndromeRound
+    stabilize(Tableau &state)
+    {
+        return runRoundOnTableau(schedule, state, rng);
+    }
+
+    /** XOR two tableau rounds into frame-style flips. */
+    static qecc::SyndromeRound
+    diff(const qecc::SyndromeRound &a, const qecc::SyndromeRound &b)
+    {
+        qecc::SyndromeRound out = b;
+        for (std::size_t i = 0; i < out.xFlips.size(); ++i)
+            out.xFlips[i] ^= a.xFlips[i];
+        for (std::size_t i = 0; i < out.zFlips.size(); ++i)
+            out.zFlips[i] ^= a.zFlips[i];
+        return out;
+    }
+
+    qecc::Lattice lattice;
+    qecc::RoundSchedule schedule;
+    qecc::SyndromeExtractor extractor;
+    decode::MwpmDecoder decoder;
+    sim::Rng rng;
+};
+
+TEST_P(LogicalStateTest, StabilizingRoundPreparesLogicalZero)
+{
+    Tableau state(lattice.numQubits());
+    stabilize(state);
+    EXPECT_EQ(state.expectation(logicalZ()), 1);
+}
+
+TEST_P(LogicalStateTest, RepeatedRoundsPreserveTheLogicalState)
+{
+    Tableau state(lattice.numQubits());
+    const auto first = stabilize(state);
+    for (int r = 0; r < 3; ++r) {
+        const auto next = stabilize(state);
+        // Noiseless rounds repeat the same stabilizer outcomes.
+        EXPECT_EQ(next.xFlips, first.xFlips);
+        EXPECT_EQ(next.zFlips, first.zFlips);
+    }
+    EXPECT_EQ(state.expectation(logicalZ()), 1);
+}
+
+TEST_P(LogicalStateTest, EverySingleErrorIsFullyReversed)
+{
+    for (const qecc::Coord data :
+         lattice.sites(qecc::SiteType::Data)) {
+        for (const Pauli p : { Pauli::X, Pauli::Z, Pauli::Y }) {
+            Tableau state(lattice.numQubits());
+            const auto baseline = stabilize(state);
+            ASSERT_EQ(state.expectation(logicalZ()), 1);
+
+            // Inject a real error on the quantum state.
+            PauliString error(lattice.numQubits());
+            error.set(lattice.index(data), p);
+            state.applyPauli(error);
+
+            // Extract the syndrome with the genuine circuit.
+            const auto measured = stabilize(state);
+            const auto events = decode::extractDetectionEvents(
+                { diff(baseline, measured) }, extractor);
+
+            // Decode and correct the state itself.
+            const decode::Correction corr = decoder.decode(events);
+            PauliString fix(lattice.numQubits());
+            for (std::size_t q : corr.xFlips)
+                fix.set(q, Pauli::X);
+            for (std::size_t q : corr.zFlips)
+                fix.set(q, fix.at(q) * Pauli::Z);
+            state.applyPauli(fix);
+
+            // The corrected state is back in the code space with
+            // the logical information intact.
+            const auto after = stabilize(state);
+            EXPECT_EQ(after.xFlips, baseline.xFlips)
+                << "(" << data.row << "," << data.col << ")";
+            EXPECT_EQ(after.zFlips, baseline.zFlips);
+            EXPECT_EQ(state.expectation(logicalZ()), 1)
+                << "logical flip at (" << data.row << ","
+                << data.col << ") pauli "
+                << quantum::pauliChar(p);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LogicalStateTest,
+                         ::testing::Values(3u, 5u));
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the master controller: routing, bus accounting and the
+ * global decode loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/master_controller.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace quest::core;
+using quest::isa::LogicalInstr;
+using quest::isa::LogicalOpcode;
+using quest::isa::LogicalTrace;
+using quest::qecc::Coord;
+
+MasterConfig
+smallMaster(std::size_t mces = 2)
+{
+    MasterConfig cfg;
+    cfg.numMces = mces;
+    cfg.mce = tileConfigForLogicalQubits(3);
+    return cfg;
+}
+
+TEST(Master, ConstructsRequestedMces)
+{
+    MasterController master(smallMaster(3));
+    EXPECT_EQ(master.numMces(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(master.mce(i).lattice().numQubits(),
+                  master.mce(0).lattice().numQubits());
+}
+
+TEST(Master, DispatchRoutesByOperandModulo)
+{
+    MasterController master(smallMaster(2));
+    master.mce(0).defineLogicalQubit(Coord{2, 2});
+    master.mce(1).defineLogicalQubit(Coord{2, 2});
+
+    // Operand 0 -> MCE 0 local L0; operand 1 -> MCE 1 local L0.
+    const double before0 = master.mce(0).logicalUopsIssued();
+    const double before1 = master.mce(1).logicalUopsIssued();
+    master.dispatch(LogicalInstr{LogicalOpcode::Hadamard, 0});
+    EXPECT_GT(master.mce(0).logicalUopsIssued(), before0);
+    EXPECT_EQ(master.mce(1).logicalUopsIssued(), before1);
+
+    master.dispatch(LogicalInstr{LogicalOpcode::Hadamard, 1});
+    EXPECT_GT(master.mce(1).logicalUopsIssued(), before1);
+}
+
+TEST(Master, BusBytesPerLogicalInstruction)
+{
+    MasterController master(smallMaster(2));
+    master.mce(0).defineLogicalQubit(Coord{2, 2});
+    master.dispatch(LogicalInstr{LogicalOpcode::Hadamard, 0});
+    master.dispatch(LogicalInstr{LogicalOpcode::Hadamard, 0});
+    EXPECT_DOUBLE_EQ(master.busBytesLogical(),
+                     2.0 * quest::tech::logicalInstrBytes);
+}
+
+TEST(Master, SyncTokensCountedSeparately)
+{
+    MasterController master(smallMaster(2));
+    master.dispatch(LogicalInstr{LogicalOpcode::SyncToken, 0});
+    master.broadcastSync();
+    EXPECT_DOUBLE_EQ(master.busBytesSync(), 2.0 + 2.0 * 2.0);
+    EXPECT_DOUBLE_EQ(master.busBytesLogical(), 0.0);
+}
+
+TEST(Master, StepRoundAdvancesAllMces)
+{
+    MasterController master(smallMaster(2));
+    master.runRounds(7);
+    EXPECT_EQ(master.roundsRun(), 7u);
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(master.mce(i).roundsRun(), 7u);
+}
+
+TEST(Master, GlobalDecodeHandlesResidualChains)
+{
+    MasterConfig cfg = smallMaster(1);
+    cfg.decodeWindowRounds = 2;
+    MasterController master(cfg);
+    Mce &mce = master.mce(0);
+
+    // A chain the LUT cannot resolve locally.
+    mce.frame().injectX(mce.lattice().index(Coord{3, 3}));
+    mce.frame().injectX(mce.lattice().index(Coord{3, 5}));
+    master.runRounds(2); // triggers a decode at the window edge
+
+    EXPECT_GT(master.busBytesSyndrome(), 0.0);
+    EXPECT_GT(master.busBytesCorrections(), 0.0);
+    EXPECT_EQ(mce.residualErrorWeight(), 0u);
+}
+
+TEST(Master, BaselineEquivalentBytesFormula)
+{
+    MasterConfig cfg = smallMaster(2);
+    MasterController master(cfg);
+    master.runRounds(4);
+    const auto &spec = quest::qecc::protocolSpec(cfg.mce.protocol);
+    const double expected = 2.0 * 4.0 * double(spec.depth())
+        * double(master.mce(0).lattice().numQubits());
+    EXPECT_DOUBLE_EQ(master.baselineEquivalentBytes(), expected);
+}
+
+TEST(Master, CacheTrafficAccountedOnBlockDispatch)
+{
+    MasterController master(smallMaster(1));
+    const LogicalTrace body =
+        quest::isa::generateDistillationRound(0);
+
+    const ICacheAccess first = master.dispatchBlock(0, 1, body);
+    EXPECT_FALSE(first.hit);
+    const ICacheAccess second = master.dispatchBlock(0, 1, body);
+    EXPECT_TRUE(second.hit);
+    EXPECT_DOUBLE_EQ(master.busBytesCacheTraffic(),
+                     double(body.bytes() + replayTokenBytes));
+}
+
+TEST(Master, TotalIsSumOfCategories)
+{
+    MasterController master(smallMaster(1));
+    master.mce(0).defineLogicalQubit(Coord{2, 2});
+    master.dispatch(LogicalInstr{LogicalOpcode::Hadamard, 0});
+    master.broadcastSync();
+    master.dispatchBlock(0, 1,
+                         quest::isa::generateDistillationRound(0));
+    EXPECT_DOUBLE_EQ(master.totalBusBytes(),
+                     master.busBytesLogical() + master.busBytesSync()
+                         + master.busBytesSyndrome()
+                         + master.busBytesCorrections()
+                         + master.busBytesCacheTraffic());
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the packet-switched interconnect model and its
+ * integration with the master controller's bus accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/master_controller.hpp"
+#include "core/network.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace quest::core;
+using quest::sim::nanoseconds;
+
+TEST(Network, TreeDepthGrowsWithMceCount)
+{
+    quest::sim::StatGroup stats("test");
+    NetworkConfig small;
+    small.mceCount = 4;
+    small.radix = 4;
+    EXPECT_EQ(PacketNetwork(small, stats).depth(), 1u);
+
+    NetworkConfig medium = small;
+    medium.mceCount = 16;
+    EXPECT_EQ(PacketNetwork(medium, stats).depth(), 2u);
+
+    NetworkConfig large = small;
+    large.mceCount = 17;
+    EXPECT_EQ(PacketNetwork(large, stats).depth(), 3u);
+}
+
+TEST(Network, PacketLatencyIsHopsPlusSerialization)
+{
+    quest::sim::StatGroup stats("test");
+    NetworkConfig cfg;
+    cfg.mceCount = 4;
+    cfg.radix = 4;
+    cfg.hopLatency = nanoseconds(5);
+    cfg.linkBytesPerTick = 0.004; // 4 GB/s
+    PacketNetwork net(cfg, stats);
+
+    // depth 1 -> 2 hops; 2 bytes at 0.004 B/tick -> 500 ticks.
+    const PacketTiming t = net.send(0, 2);
+    EXPECT_EQ(t.hops, 2u);
+    EXPECT_EQ(t.latency, 2 * nanoseconds(5) + 500);
+}
+
+TEST(Network, AccountingAccumulates)
+{
+    quest::sim::StatGroup stats("test");
+    NetworkConfig cfg;
+    cfg.mceCount = 2;
+    PacketNetwork net(cfg, stats);
+    net.send(0, 100);
+    net.send(1, 300);
+    EXPECT_DOUBLE_EQ(net.bytesCarried(), 400.0);
+    EXPECT_DOUBLE_EQ(net.packetsCarried(), 2.0);
+    EXPECT_GT(net.meanLatencyTicks(), 0.0);
+}
+
+TEST(Network, RootUtilizationReflectsLoad)
+{
+    quest::sim::StatGroup stats("test");
+    NetworkConfig cfg;
+    cfg.mceCount = 2;
+    cfg.linkBytesPerTick = 0.004;
+    PacketNetwork net(cfg, stats);
+    net.send(0, 4);
+    // 4 bytes over 1e6 ticks at 0.004 B/tick capacity -> 0.1%.
+    EXPECT_NEAR(net.rootLinkUtilization(1000000), 1e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(net.rootLinkUtilization(0), 0.0);
+}
+
+TEST(Network, OutOfRangeMcePanics)
+{
+    quest::sim::setQuiet(true);
+    quest::sim::StatGroup stats("test");
+    NetworkConfig cfg;
+    cfg.mceCount = 2;
+    PacketNetwork net(cfg, stats);
+    EXPECT_THROW(net.send(5, 10), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(NetworkIntegration, MasterTrafficFlowsThroughNetwork)
+{
+    MasterConfig cfg;
+    cfg.numMces = 2;
+    cfg.mce = tileConfigForLogicalQubits(3);
+    MasterController master(cfg);
+    master.mce(0).defineLogicalQubit(quest::qecc::Coord{2, 2});
+
+    master.dispatch(quest::isa::LogicalInstr{
+        quest::isa::LogicalOpcode::Hadamard, 0});
+    master.broadcastSync();
+    master.dispatchBlock(0, 1,
+                         quest::isa::generateDistillationRound(0));
+
+    // Every ledger byte crossed the network.
+    EXPECT_DOUBLE_EQ(master.network().bytesCarried(),
+                     master.totalBusBytes());
+}
+
+TEST(NetworkIntegration, QuestLeavesTheRootLinkNearlyIdle)
+{
+    // The architectural point: at logical rates the interconnect is
+    // essentially idle, whereas the baseline's physical-rate stream
+    // would saturate it thousands of times over.
+    MasterConfig cfg;
+    cfg.numMces = 4;
+    cfg.mce = tileConfigForLogicalQubits(3);
+    QuestSystem sys(cfg);
+    sys.placeLogicalQubits();
+
+    quest::isa::TraceGenConfig t;
+    t.numInstructions = 128;
+    t.logicalQubits = 4;
+    t.maskFraction = 0.0;
+    sys.runMixedWorkload(quest::isa::generateApplicationTrace(t),
+                         quest::isa::generateDistillationRound(0),
+                         512);
+
+    // 512 rounds x 160 ns round.
+    const quest::sim::Tick interval =
+        512 * quest::sim::nanoseconds(160);
+    const double quest_util =
+        sys.master().network().rootLinkUtilization(interval);
+    EXPECT_LT(quest_util, 0.05);
+
+    const double baseline_util = sys.report().baselineBytes
+        / (0.004 * double(interval));
+    EXPECT_GT(baseline_util, quest_util * 50);
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests that the technology model reproduces the paper's Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/parameters.hpp"
+
+namespace {
+
+using namespace quest::tech;
+using quest::sim::microseconds;
+using quest::sim::nanoseconds;
+
+TEST(Table1, ExperimentalSLatencies)
+{
+    const GateLatencies lat = gateLatencies(Technology::ExperimentalS);
+    EXPECT_EQ(lat.tPrep, microseconds(1));
+    EXPECT_EQ(lat.t1, nanoseconds(25));
+    EXPECT_EQ(lat.tMeas, microseconds(1));
+    EXPECT_EQ(lat.tCnot, nanoseconds(100));
+}
+
+TEST(Table1, ProjectedFLatencies)
+{
+    const GateLatencies lat = gateLatencies(Technology::ProjectedF);
+    EXPECT_EQ(lat.tPrep, nanoseconds(40));
+    EXPECT_EQ(lat.t1, nanoseconds(10));
+    EXPECT_EQ(lat.tMeas, nanoseconds(35));
+    EXPECT_EQ(lat.tCnot, nanoseconds(80));
+}
+
+TEST(Table1, ProjectedDLatencies)
+{
+    const GateLatencies lat = gateLatencies(Technology::ProjectedD);
+    EXPECT_EQ(lat.tPrep, nanoseconds(40));
+    EXPECT_EQ(lat.t1, nanoseconds(5));
+    EXPECT_EQ(lat.tMeas, nanoseconds(35));
+    EXPECT_EQ(lat.tCnot, nanoseconds(20));
+}
+
+/**
+ * Table 1's T_ecc column: one round == identity + prep + 4 CNOTs +
+ * measurement. The paper reports 2.42us / 405ns / 165ns; the exact
+ * circuit sum gives 2.425us / 405ns / 160ns.
+ */
+TEST(Table1, EccRoundDurations)
+{
+    EXPECT_EQ(gateLatencies(Technology::ExperimentalS).eccRound(),
+              nanoseconds(2425));
+    EXPECT_EQ(gateLatencies(Technology::ProjectedF).eccRound(),
+              nanoseconds(405));
+    EXPECT_EQ(gateLatencies(Technology::ProjectedD).eccRound(),
+              nanoseconds(160));
+}
+
+TEST(Constants, BaselinePerQubitBandwidthIs100MBs)
+{
+    // Section 3.3: 100 MHz qubits, byte-sized instructions.
+    EXPECT_DOUBLE_EQ(baselinePerQubitBandwidth(), 100e6);
+}
+
+TEST(Constants, TechnologyNames)
+{
+    EXPECT_EQ(technologyName(Technology::ExperimentalS),
+              "ExperimentalS");
+    EXPECT_EQ(technologyName(Technology::ProjectedF), "ProjectedF");
+    EXPECT_EQ(technologyName(Technology::ProjectedD), "ProjectedD");
+}
+
+} // namespace

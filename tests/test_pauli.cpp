@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit and property tests for Pauli algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quantum/pauli.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace quest::quantum;
+
+TEST(Pauli, ComponentBits)
+{
+    EXPECT_FALSE(pauliX(Pauli::I));
+    EXPECT_FALSE(pauliZ(Pauli::I));
+    EXPECT_TRUE(pauliX(Pauli::X));
+    EXPECT_FALSE(pauliZ(Pauli::X));
+    EXPECT_FALSE(pauliX(Pauli::Z));
+    EXPECT_TRUE(pauliZ(Pauli::Z));
+    EXPECT_TRUE(pauliX(Pauli::Y));
+    EXPECT_TRUE(pauliZ(Pauli::Y));
+}
+
+TEST(Pauli, MakePauliInvertsComponents)
+{
+    for (bool x : { false, true })
+        for (bool z : { false, true }) {
+            const Pauli p = makePauli(x, z);
+            EXPECT_EQ(pauliX(p), x);
+            EXPECT_EQ(pauliZ(p), z);
+        }
+}
+
+TEST(Pauli, ProductIgnoringPhase)
+{
+    EXPECT_EQ(Pauli::X * Pauli::Z, Pauli::Y);
+    EXPECT_EQ(Pauli::X * Pauli::X, Pauli::I);
+    EXPECT_EQ(Pauli::Y * Pauli::Z, Pauli::X);
+    EXPECT_EQ(Pauli::I * Pauli::Y, Pauli::Y);
+}
+
+TEST(Pauli, CommutationRules)
+{
+    // Identity commutes with everything.
+    for (Pauli p : { Pauli::I, Pauli::X, Pauli::Y, Pauli::Z })
+        EXPECT_TRUE(commutes(Pauli::I, p));
+    // Distinct non-identity Paulis anticommute.
+    EXPECT_FALSE(commutes(Pauli::X, Pauli::Z));
+    EXPECT_FALSE(commutes(Pauli::X, Pauli::Y));
+    EXPECT_FALSE(commutes(Pauli::Y, Pauli::Z));
+    // Every Pauli commutes with itself.
+    for (Pauli p : { Pauli::X, Pauli::Y, Pauli::Z })
+        EXPECT_TRUE(commutes(p, p));
+}
+
+TEST(Pauli, CharRoundTrip)
+{
+    for (Pauli p : { Pauli::I, Pauli::X, Pauli::Y, Pauli::Z })
+        EXPECT_EQ(pauliFromChar(pauliChar(p)), p);
+}
+
+TEST(PauliString, ParseAndPrint)
+{
+    const PauliString p = PauliString::fromString("XIZY");
+    EXPECT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(0), Pauli::X);
+    EXPECT_EQ(p.at(2), Pauli::Z);
+    EXPECT_EQ(p.toString(), "+XIZY");
+
+    const PauliString m = PauliString::fromString("-XX");
+    EXPECT_EQ(m.phaseExponent(), 2u);
+    EXPECT_EQ(m.toString(), "-XX");
+}
+
+TEST(PauliString, WeightAndIdentity)
+{
+    EXPECT_TRUE(PauliString(5).isIdentity());
+    EXPECT_EQ(PauliString::fromString("IXIYI").weight(), 2u);
+}
+
+TEST(PauliString, ProductTracksPhase)
+{
+    // X * Z = -iY.
+    PauliString x = PauliString::fromString("X");
+    const PauliString z = PauliString::fromString("Z");
+    x *= z;
+    EXPECT_EQ(x.at(0), Pauli::Y);
+    EXPECT_EQ(x.phaseExponent(), 3u); // i^3 == -i
+
+    // Z * X = +iY.
+    PauliString z2 = PauliString::fromString("Z");
+    z2 *= PauliString::fromString("X");
+    EXPECT_EQ(z2.phaseExponent(), 1u);
+}
+
+TEST(PauliString, SelfProductIsIdentity)
+{
+    const PauliString p = PauliString::fromString("XYZXI");
+    const PauliString sq = p * p;
+    EXPECT_TRUE(sq.isIdentity());
+    EXPECT_EQ(sq.phaseExponent(), 0u);
+}
+
+TEST(PauliString, MultiQubitCommutation)
+{
+    // XX and ZZ commute (two anticommuting positions).
+    EXPECT_TRUE(PauliString::fromString("XX").commutesWith(
+        PauliString::fromString("ZZ")));
+    // XI and ZI anticommute (one position).
+    EXPECT_FALSE(PauliString::fromString("XI").commutesWith(
+        PauliString::fromString("ZI")));
+}
+
+/** Property: commutation matches phase behaviour of products. */
+TEST(PauliStringProperty, CommutatorConsistentWithProducts)
+{
+    quest::sim::Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(6);
+        PauliString a(n), b(n);
+        for (std::size_t q = 0; q < n; ++q) {
+            a.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+            b.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+        }
+        const PauliString ab = a * b;
+        const PauliString ba = b * a;
+        // Same operator content either way.
+        for (std::size_t q = 0; q < n; ++q)
+            ASSERT_EQ(ab.at(q), ba.at(q));
+        // ab == +/- ba according to commutation.
+        const auto dphase = std::uint8_t(
+            (ab.phaseExponent() - ba.phaseExponent()) & 3u);
+        if (a.commutesWith(b))
+            ASSERT_EQ(dphase, 0u);
+        else
+            ASSERT_EQ(dphase, 2u);
+    }
+}
+
+/** Property: (ab)c == a(bc) including phase. */
+TEST(PauliStringProperty, ProductAssociative)
+{
+    quest::sim::Rng rng(43);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(5);
+        PauliString p[3] = { PauliString(n), PauliString(n),
+                             PauliString(n) };
+        for (auto &ps : p)
+            for (std::size_t q = 0; q < n; ++q)
+                ps.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+        const PauliString left = (p[0] * p[1]) * p[2];
+        const PauliString right = p[0] * (p[1] * p[2]);
+        ASSERT_EQ(left, right);
+    }
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the Pauli frame, plus the key cross-validation
+ * property: frame propagation must agree with conjugating the error
+ * through the circuit on the full stabilizer tableau.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quantum/pauli_frame.hpp"
+#include "quantum/tableau.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace quest::quantum;
+using quest::sim::Rng;
+
+TEST(PauliFrame, InjectAndReadBack)
+{
+    PauliFrame f(3);
+    f.injectX(0);
+    f.injectZ(1);
+    f.injectY(2);
+    EXPECT_EQ(f.errorAt(0), Pauli::X);
+    EXPECT_EQ(f.errorAt(1), Pauli::Z);
+    EXPECT_EQ(f.errorAt(2), Pauli::Y);
+    EXPECT_EQ(f.weight(), 3u);
+}
+
+TEST(PauliFrame, DoubleInjectCancels)
+{
+    PauliFrame f(1);
+    f.injectX(0);
+    f.injectX(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::I);
+}
+
+TEST(PauliFrame, HadamardSwapsXAndZ)
+{
+    PauliFrame f(1);
+    f.injectX(0);
+    f.h(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::Z);
+    f.h(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::X);
+}
+
+TEST(PauliFrame, PhaseGateMapsXToY)
+{
+    PauliFrame f(1);
+    f.injectX(0);
+    f.s(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::Y);
+    // Z is unchanged by S.
+    PauliFrame g(1);
+    g.injectZ(0);
+    g.s(0);
+    EXPECT_EQ(g.errorAt(0), Pauli::Z);
+}
+
+TEST(PauliFrame, CnotPropagation)
+{
+    // X on control copies to target.
+    PauliFrame f(2);
+    f.injectX(0);
+    f.cnot(0, 1);
+    EXPECT_EQ(f.errorAt(0), Pauli::X);
+    EXPECT_EQ(f.errorAt(1), Pauli::X);
+
+    // Z on target copies to control.
+    PauliFrame g(2);
+    g.injectZ(1);
+    g.cnot(0, 1);
+    EXPECT_EQ(g.errorAt(0), Pauli::Z);
+    EXPECT_EQ(g.errorAt(1), Pauli::Z);
+
+    // X on target stays put; Z on control stays put.
+    PauliFrame h(2);
+    h.injectX(1);
+    h.injectZ(0);
+    h.cnot(0, 1);
+    EXPECT_EQ(h.errorAt(0), Pauli::Z);
+    EXPECT_EQ(h.errorAt(1), Pauli::X);
+}
+
+TEST(PauliFrame, MeasurementFlipSemantics)
+{
+    PauliFrame f(2);
+    f.injectX(0);
+    f.injectZ(1);
+    EXPECT_TRUE(f.measureZFlip(0));  // X flips a Z measurement
+    EXPECT_FALSE(f.measureZFlip(1)); // Z does not
+    EXPECT_TRUE(f.measureXFlip(1));  // Z flips an X measurement
+}
+
+TEST(PauliFrame, ResetClearsError)
+{
+    PauliFrame f(1);
+    f.injectY(0);
+    f.reset(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::I);
+}
+
+TEST(PauliFrame, ToPauliString)
+{
+    PauliFrame f(3);
+    f.injectX(0);
+    f.injectY(2);
+    EXPECT_EQ(f.toPauliString().toString(), "+XIY");
+}
+
+/**
+ * Cross-validation: for a random Clifford circuit C and random Pauli
+ * error E, executing "E then C" on one tableau must equal executing
+ * "C then C E C^-1" computed by the Pauli frame -- i.e. the frame's
+ * final error, applied after the ideal circuit, reproduces the
+ * errored run. We compare Z-measurement determinism/outcomes of both
+ * tableaus qubit by qubit via peekZ.
+ */
+TEST(PauliFrameProperty, AgreesWithTableauConjugation)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(5);
+
+        // Random circuit as (gate, operands) list.
+        struct Gate { int kind; std::size_t a, b; };
+        std::vector<Gate> circuit;
+        for (int g = 0; g < 40; ++g) {
+            const int kind = int(rng.uniformInt(3));
+            std::size_t a = rng.uniformInt(n);
+            std::size_t b = rng.uniformInt(n);
+            if (kind == 2 && a == b)
+                continue;
+            circuit.push_back(Gate{kind, a, b});
+        }
+
+        // Random initial Pauli error.
+        PauliString error(n);
+        for (std::size_t q = 0; q < n; ++q)
+            error.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+
+        // Path A: tableau with the error injected, then the circuit.
+        Tableau errored(n);
+        errored.applyPauli(error);
+        // Path B: ideal tableau; frame tracks the error through the
+        // same circuit.
+        Tableau ideal(n);
+        PauliFrame frame(n);
+        for (std::size_t q = 0; q < n; ++q)
+            frame.inject(q, error.at(q));
+
+        for (const Gate &g : circuit) {
+            switch (g.kind) {
+              case 0:
+                errored.h(g.a);
+                ideal.h(g.a);
+                frame.h(g.a);
+                break;
+              case 1:
+                errored.s(g.a);
+                ideal.s(g.a);
+                frame.s(g.a);
+                break;
+              case 2:
+                errored.cnot(g.a, g.b);
+                ideal.cnot(g.a, g.b);
+                frame.cnot(g.a, g.b);
+                break;
+            }
+        }
+
+        // Apply the frame's final error to the ideal run; the two
+        // tableaus must now agree on every deterministic observable.
+        ideal.applyPauli(frame.toPauliString());
+        for (std::size_t q = 0; q < n; ++q)
+            ASSERT_EQ(errored.peekZ(q), ideal.peekZ(q))
+                << "trial " << trial << " qubit " << q;
+    }
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the syndrome-protocol catalog (Table 2, Table 1 T_ecc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qecc/protocol.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+using namespace quest::tech;
+using quest::sim::nanoseconds;
+
+TEST(Protocol, CatalogNames)
+{
+    EXPECT_EQ(protocolName(Protocol::Steane), "Steane");
+    EXPECT_EQ(protocolName(Protocol::Shor), "Shor");
+    EXPECT_EQ(protocolName(Protocol::SC17), "SC-17");
+    EXPECT_EQ(protocolName(Protocol::SC13), "SC-13");
+}
+
+TEST(Protocol, InstructionCountsPerQubit)
+{
+    // Section 7: "Shor syndrome based design needs 14 instructions
+    // per qubit ... Steane ... nine instructions per qubit".
+    EXPECT_EQ(protocolSpec(Protocol::Steane).uopsPerQubit, 9u);
+    EXPECT_EQ(protocolSpec(Protocol::Shor).uopsPerQubit, 14u);
+}
+
+TEST(Protocol, UnitCellProgramSizesMatchTable2)
+{
+    EXPECT_EQ(protocolSpec(Protocol::Steane).unitCellUops, 148u);
+    EXPECT_EQ(protocolSpec(Protocol::Shor).unitCellUops, 300u);
+    EXPECT_EQ(protocolSpec(Protocol::SC17).unitCellUops, 136u);
+    EXPECT_EQ(protocolSpec(Protocol::SC13).unitCellUops, 147u);
+}
+
+TEST(Protocol, UnitCellSizes)
+{
+    // Section 4.5: 25-qubit unit cell (Fowler); SC-17/SC-13 are the
+    // 17- and 13-qubit optimized designs (Tomita & Svore).
+    EXPECT_EQ(protocolSpec(Protocol::Steane).unitCellQubits, 25u);
+    EXPECT_EQ(protocolSpec(Protocol::Shor).unitCellQubits, 25u);
+    EXPECT_EQ(protocolSpec(Protocol::SC17).unitCellQubits, 17u);
+    EXPECT_EQ(protocolSpec(Protocol::SC13).unitCellQubits, 13u);
+}
+
+TEST(Protocol, SteaneRoundDurationReproducesTable1)
+{
+    const ProtocolSpec &steane = protocolSpec(Protocol::Steane);
+    EXPECT_EQ(steane.roundDuration(
+                  gateLatencies(Technology::ExperimentalS)),
+              nanoseconds(2425)); // paper: 2.42 us
+    EXPECT_EQ(steane.roundDuration(
+                  gateLatencies(Technology::ProjectedF)),
+              nanoseconds(405)); // paper: 405 ns
+    EXPECT_EQ(steane.roundDuration(
+                  gateLatencies(Technology::ProjectedD)),
+              nanoseconds(160)); // paper: 165 ns
+}
+
+TEST(Protocol, ShorRoundIsLongerThanSteane)
+{
+    // Cat-state construction and verification add steps.
+    for (Technology tech : allTechnologies) {
+        const auto lat = gateLatencies(tech);
+        EXPECT_GT(protocolSpec(Protocol::Shor).roundDuration(lat),
+                  protocolSpec(Protocol::Steane).roundDuration(lat));
+    }
+}
+
+TEST(Protocol, CompactCodesHaveShorterRounds)
+{
+    for (Technology tech : allTechnologies) {
+        const auto lat = gateLatencies(tech);
+        EXPECT_LE(protocolSpec(Protocol::SC17).roundDuration(lat),
+                  protocolSpec(Protocol::Steane).roundDuration(lat));
+    }
+}
+
+TEST(Protocol, DepthMatchesStepList)
+{
+    for (Protocol p : allProtocols) {
+        const ProtocolSpec &spec = protocolSpec(p);
+        EXPECT_EQ(spec.depth(), spec.steps.size());
+        EXPECT_GE(spec.depth(), 6u);
+    }
+}
+
+TEST(Protocol, OpcodeVocabularies)
+{
+    // These widths drive the Table-2 bank-fit rule: SC-17's compact
+    // 8-opcode vocabulary is what lets it use 512b banks.
+    EXPECT_EQ(protocolSpec(Protocol::SC17).opcodeCount, 8u);
+    EXPECT_GT(protocolSpec(Protocol::Steane).opcodeCount, 8u);
+    EXPECT_LE(protocolSpec(Protocol::Shor).opcodeCount, 16u);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace {
+
+using quest::sim::Rng;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, ReseedRestoresSequence)
+{
+    Rng a(99);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(99);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[std::size_t(i)]);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 0.1, 0.01);
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Random, BernoulliEdgeCases)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+} // namespace

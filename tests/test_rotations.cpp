@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the footnote-7 rotation decomposition model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/rotations.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::isa;
+
+TEST(Rotations, TCountScalesLogarithmically)
+{
+    // Doubling the precision adds a constant number of T gates.
+    const double t10 = rotationTCount(1e-10);
+    const double t20 = rotationTCount(1e-20);
+    EXPECT_NEAR(t20 / t10, 2.0, 1e-9);
+    EXPECT_NEAR(rotationTCount(0.5), 3.0, 1e-9); // one bit
+}
+
+TEST(Rotations, InstructionCountIncludesCliffordDressing)
+{
+    const RotationSynthesis synth;
+    EXPECT_NEAR(rotationInstructionCount(1e-10),
+                rotationTCount(1e-10) * 2.5, 1e-9);
+}
+
+TEST(Rotations, SynthesizedWordHasRightTCount)
+{
+    const double eps = 1e-10;
+    const LogicalTrace word = synthesizeRotation(3, 42, eps);
+    const auto expected =
+        std::size_t(std::ceil(rotationTCount(eps)));
+    EXPECT_EQ(word.count(LogicalOpcode::T), expected);
+    // Total length close to the analytical instruction count.
+    EXPECT_NEAR(double(word.size()),
+                rotationInstructionCount(eps),
+                rotationInstructionCount(eps) * 0.2);
+}
+
+TEST(Rotations, WordTargetsTheRequestedQubit)
+{
+    const LogicalTrace word = synthesizeRotation(7, 1, 1e-6);
+    for (const auto &instr : word)
+        EXPECT_EQ(instr.operand, 7u);
+}
+
+TEST(Rotations, DeterministicForFixedSeed)
+{
+    // Determinism is what makes run-time decomposition cacheable.
+    const LogicalTrace a = synthesizeRotation(1, 99, 1e-8);
+    const LogicalTrace b = synthesizeRotation(1, 99, 1e-8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Rotations, DifferentAnglesDifferentWords)
+{
+    const LogicalTrace a = synthesizeRotation(1, 1, 1e-8);
+    const LogicalTrace b = synthesizeRotation(1, 2, 1e-8);
+    bool differ = a.size() != b.size();
+    for (std::size_t i = 0; !differ && i < a.size(); ++i)
+        differ = !(a.at(i) == b.at(i));
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rotations, InvalidPrecisionPanics)
+{
+    quest::sim::setQuiet(true);
+    EXPECT_THROW(rotationTCount(0.0), quest::sim::SimError);
+    EXPECT_THROW(rotationTCount(2.0), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+} // namespace

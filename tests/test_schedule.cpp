@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for lockstep round-schedule construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "qecc/schedule.hpp"
+
+namespace {
+
+using namespace quest::qecc;
+using quest::isa::PhysOpcode;
+
+class ScheduleTest : public ::testing::TestWithParam<Protocol>
+{
+};
+
+TEST_P(ScheduleTest, DepthMatchesProtocol)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    const ProtocolSpec &spec = protocolSpec(GetParam());
+    const RoundSchedule sched = buildRoundSchedule(lat, spec);
+    EXPECT_EQ(sched.depth(), spec.depth());
+}
+
+TEST_P(ScheduleTest, ValidatesStructurally)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    const RoundSchedule sched =
+        buildRoundSchedule(lat, protocolSpec(GetParam()));
+    EXPECT_TRUE(validateSchedule(sched));
+}
+
+TEST_P(ScheduleTest, EveryQubitHasASlotEverySubCycle)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    const RoundSchedule sched =
+        buildRoundSchedule(lat, protocolSpec(GetParam()));
+    for (std::size_t s = 0; s < sched.depth(); ++s)
+        EXPECT_EQ(sched.subCycle(s).uops.size(), lat.numQubits());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ScheduleTest,
+                         ::testing::Values(Protocol::Steane,
+                                           Protocol::Shor,
+                                           Protocol::SC17,
+                                           Protocol::SC13),
+                         [](const auto &info) {
+                             return protocolName(info.param) == "SC-17"
+                                 ? std::string("SC17")
+                                 : protocolName(info.param) == "SC-13"
+                                 ? std::string("SC13")
+                                 : protocolName(info.param);
+                         });
+
+TEST(Schedule, SteaneStructureOnDistance3)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    const RoundSchedule sched =
+        buildRoundSchedule(lat, protocolSpec(Protocol::Steane));
+
+    // Sub-cycle 0: idle; 1: prep; 2-5: CNOTs; 6: measurement.
+    EXPECT_EQ(sched.subCycle(0).stepClass, StepClass::Idle);
+    EXPECT_EQ(sched.subCycle(1).stepClass, StepClass::Prep);
+    for (std::size_t s = 2; s <= 5; ++s)
+        EXPECT_EQ(sched.subCycle(s).stepClass, StepClass::Cnot);
+    EXPECT_EQ(sched.subCycle(6).stepClass, StepClass::Meas);
+
+    // Prep assigns PrepX to X ancillas and PrepZ to Z ancillas.
+    for (const Coord c : lat.sites(SiteType::XAncilla))
+        EXPECT_EQ(sched.subCycle(1).uops[lat.index(c)],
+                  PhysOpcode::PrepX);
+    for (const Coord c : lat.sites(SiteType::ZAncilla))
+        EXPECT_EQ(sched.subCycle(1).uops[lat.index(c)],
+                  PhysOpcode::PrepZ);
+    // Data qubits idle during prep.
+    for (const Coord c : lat.sites(SiteType::Data))
+        EXPECT_EQ(sched.subCycle(1).uops[lat.index(c)],
+                  PhysOpcode::Nop);
+}
+
+TEST(Schedule, InteriorAncillaTouchesAllFourNeighbours)
+{
+    const Lattice lat = Lattice::forDistance(5);
+    const RoundSchedule sched =
+        buildRoundSchedule(lat, protocolSpec(Protocol::Steane));
+    // Interior X ancilla (2,3) should issue one CNOT per direction
+    // across the four interaction sub-cycles.
+    const std::size_t q = lat.index(Coord{2, 3});
+    std::set<Direction> dirs;
+    for (std::size_t s = 2; s <= 5; ++s) {
+        const PhysOpcode op = sched.subCycle(s).uops[q];
+        ASSERT_TRUE(quest::isa::isTwoQubit(op));
+        dirs.insert(cnotDirection(op));
+    }
+    EXPECT_EQ(dirs.size(), 4u);
+}
+
+TEST(Schedule, ActiveUopCountScalesWithProtocol)
+{
+    const Lattice lat = Lattice::forDistance(3);
+    const auto steane =
+        buildRoundSchedule(lat, protocolSpec(Protocol::Steane));
+    const auto shor =
+        buildRoundSchedule(lat, protocolSpec(Protocol::Shor));
+    // Shor's deeper round issues more active uops.
+    EXPECT_GT(shor.activeUopCount(), steane.activeUopCount());
+    EXPECT_EQ(steane.totalUopSlots(),
+              steane.depth() * lat.numQubits());
+}
+
+TEST(Schedule, CnotOpcodeDirectionRoundTrip)
+{
+    for (Direction d : allDirections) {
+        EXPECT_EQ(cnotDirection(cnotOpcode(d)), d);
+        EXPECT_EQ(cnotDirection(cnotTargetOpcode(d)), d);
+    }
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace quest::sim;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup g("g");
+    Scalar &s = g.scalar("count", "a counter");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, VectorTracksBucketsAndTotal)
+{
+    StatGroup g("g");
+    Vector &v = g.vector("lanes", "per-lane counts", 3);
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 4;
+    EXPECT_DOUBLE_EQ(v.total(), 7.0);
+    EXPECT_DOUBLE_EQ(v.at(1), 2.0);
+}
+
+TEST(Stats, HistogramMeanAndStddev)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("lat", "latency", 0, 100, 10);
+    for (double v : { 10.0, 20.0, 30.0 })
+        h.sample(v);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_NEAR(h.mean(), 20.0, 1e-9);
+    EXPECT_NEAR(h.stddev(), 8.1649, 1e-3);
+    EXPECT_DOUBLE_EQ(h.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 30.0);
+}
+
+TEST(Stats, HistogramClampsOutOfRangeSamples)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "x", 0, 10, 5);
+    h.sample(-5);
+    h.sample(100);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup g("g");
+    Scalar &a = g.scalar("a", "");
+    Scalar &b = g.scalar("b", "");
+    Formula &ratio = g.formula("ratio", "a per b", [&] {
+        return b.value() > 0 ? a.value() / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.5);
+    a += 10;
+    EXPECT_DOUBLE_EQ(ratio.value(), 5.0);
+}
+
+TEST(Stats, GroupDumpContainsAllStats)
+{
+    StatGroup g("mce0");
+    g.scalar("uops", "uops issued") += 7;
+    StatGroup child("mce0.icache");
+    child.scalar("hits", "cache hits") += 3;
+    g.addChild(child);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("mce0.uops"), std::string::npos);
+    EXPECT_NE(out.find("mce0.icache.hits"), std::string::npos);
+}
+
+TEST(Stats, ResetAllResetsChildren)
+{
+    StatGroup g("g");
+    Scalar &a = g.scalar("a", "");
+    StatGroup child("g.c");
+    Scalar &b = child.scalar("b", "");
+    g.addChild(child);
+    a += 5;
+    b += 5;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, FindLocatesStatByName)
+{
+    StatGroup g("g");
+    g.scalar("x", "");
+    EXPECT_NE(g.find("x"), nullptr);
+    EXPECT_NE(g.find("g.x"), nullptr);
+    EXPECT_EQ(g.find("y"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Parameterized cross-module sweeps: invariants that must hold for
+ * every combination of syndrome protocol, technology point, mask
+ * layout and microcode design -- the configuration lattice the
+ * paper's evaluation spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mce.hpp"
+#include "core/microcode.hpp"
+#include "core/system.hpp"
+#include "workloads/estimator.hpp"
+
+namespace {
+
+using namespace quest;
+using core::MicrocodeDesign;
+using core::MicrocodeModel;
+using qecc::Protocol;
+using tech::Technology;
+
+// ---------------------------------------------------------------
+// Protocol x Technology microcode invariants.
+// ---------------------------------------------------------------
+
+class ProtoTechSweep
+    : public ::testing::TestWithParam<std::tuple<Protocol, Technology>>
+{
+};
+
+TEST_P(ProtoTechSweep, ServicedQubitsOrderedByDesign)
+{
+    const auto [proto, tech] = GetParam();
+    const MicrocodeModel model(qecc::protocolSpec(proto), tech);
+    const tech::MemoryConfig cfg{4, 1024};
+    const std::size_t ram =
+        model.servicedQubits(MicrocodeDesign::Ram, cfg);
+    const std::size_t fifo =
+        model.servicedQubits(MicrocodeDesign::Fifo, cfg);
+    const std::size_t cell =
+        model.servicedQubits(MicrocodeDesign::UnitCell, cfg);
+    EXPECT_LT(ram, fifo);
+    EXPECT_LT(fifo, cell);
+}
+
+TEST_P(ProtoTechSweep, OptimalConfigIsAtLeastAsGoodAsAnyStandard)
+{
+    const auto [proto, tech] = GetParam();
+    const MicrocodeModel model(qecc::protocolSpec(proto), tech);
+    const tech::MemoryConfig best = model.optimalConfig(4096);
+    const std::size_t best_q =
+        model.servicedQubits(MicrocodeDesign::UnitCell, best);
+    const std::size_t program_bits = qecc::protocolSpec(proto)
+            .unitCellUops
+        * quest::isa::fifoUopBits(qecc::protocolSpec(proto)
+                                      .opcodeCount);
+    for (const auto &cfg :
+         tech::JJMemoryModel::standardConfigs(4096)) {
+        if (cfg.bankBits < program_bits)
+            continue; // infeasible for independent channel replay
+        EXPECT_GE(best_q, model.servicedQubits(
+                              MicrocodeDesign::UnitCell, cfg))
+            << cfg.toString();
+    }
+}
+
+TEST_P(ProtoTechSweep, RoundDurationPositiveAndConsistent)
+{
+    const auto [proto, tech] = GetParam();
+    const auto &spec = qecc::protocolSpec(proto);
+    const auto lat = tech::gateLatencies(tech);
+    EXPECT_GT(spec.roundDuration(lat), 0u);
+    // Round duration is bounded below by its longest single step.
+    EXPECT_GE(spec.roundDuration(lat), lat.tCnot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProtoTechSweep,
+    ::testing::Combine(::testing::Values(Protocol::Steane,
+                                         Protocol::Shor,
+                                         Protocol::SC17,
+                                         Protocol::SC13),
+                       ::testing::Values(Technology::ExperimentalS,
+                                         Technology::ProjectedF,
+                                         Technology::ProjectedD)));
+
+// ---------------------------------------------------------------
+// MCE invariants across protocols and mask layouts.
+// ---------------------------------------------------------------
+
+class MceConfigSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Protocol, core::MaskLayout>>
+{
+  protected:
+    core::MceConfig
+    makeConfig() const
+    {
+        core::MceConfig cfg = core::tileConfigForLogicalQubits(3);
+        cfg.protocol = std::get<0>(GetParam());
+        cfg.maskLayout = std::get<1>(GetParam());
+        return cfg;
+    }
+};
+
+TEST_P(MceConfigSweep, NoiselessRoundsStayClean)
+{
+    core::Mce mce("mce", makeConfig());
+    for (int r = 0; r < 5; ++r)
+        EXPECT_FALSE(mce.runQeccRound().any());
+}
+
+TEST_P(MceConfigSweep, MaskedRegionsSilenceSyndromes)
+{
+    core::Mce mce("mce", makeConfig());
+    mce.defineLogicalQubit(qecc::Coord{2, 2});
+    // An error deep inside defect A is invisible.
+    mce.frame().injectX(mce.lattice().index(qecc::Coord{3, 3}));
+    EXPECT_FALSE(mce.runQeccRound().any());
+}
+
+TEST_P(MceConfigSweep, UnmaskedErrorsAreStillCaught)
+{
+    core::Mce mce("mce", makeConfig());
+    mce.defineLogicalQubit(qecc::Coord{2, 2});
+    const std::size_t far_col = makeConfig().latticeCols - 2;
+    mce.frame().injectX(
+        mce.lattice().index(qecc::Coord{3, int(far_col)}));
+    EXPECT_TRUE(mce.runQeccRound().any());
+}
+
+TEST_P(MceConfigSweep, DefineReleaseRestoresCleanMask)
+{
+    core::Mce mce("mce", makeConfig());
+    const int id = mce.defineLogicalQubit(qecc::Coord{2, 2});
+    EXPECT_GT(mce.maskTable().maskedQubitCount(), 0u);
+    mce.releaseLogicalQubit(id);
+    EXPECT_EQ(mce.maskTable().maskedQubitCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MceConfigSweep,
+    ::testing::Combine(::testing::Values(Protocol::Steane,
+                                         Protocol::Shor,
+                                         Protocol::SC17,
+                                         Protocol::SC13),
+                       ::testing::Values(core::MaskLayout::Full,
+                                         core::MaskLayout::Coalesced)));
+
+// ---------------------------------------------------------------
+// Estimator invariants across the full configuration matrix.
+// ---------------------------------------------------------------
+
+class EstimatorSweep
+    : public ::testing::TestWithParam<std::tuple<Protocol, Technology,
+                                                 double>>
+{
+};
+
+TEST_P(EstimatorSweep, SavingsBandsHoldEverywhere)
+{
+    const auto [proto, tech, p] = GetParam();
+    workloads::EstimatorConfig cfg;
+    cfg.protocol = proto;
+    cfg.technology = tech;
+    cfg.physicalErrorRate = p;
+    const workloads::ResourceEstimator est(cfg);
+    const auto r = est.estimate(workloads::shor(512));
+
+    EXPECT_GE(r.mceSavings(), 1e4);
+    EXPECT_GE(r.totalSavings(), r.mceSavings());
+    EXPECT_GT(r.qeccRatio(), 1e5);
+    EXPECT_GT(r.physicalQubits, r.workload.logicalQubits);
+    EXPECT_GT(r.execTimeSeconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EstimatorSweep,
+    ::testing::Combine(::testing::Values(Protocol::Steane,
+                                         Protocol::Shor),
+                       ::testing::Values(Technology::ExperimentalS,
+                                         Technology::ProjectedD),
+                       ::testing::Values(1e-3, 1e-4, 1e-5)));
+
+} // namespace

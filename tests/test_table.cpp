@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the bench table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using quest::sim::SimError;
+using quest::sim::Table;
+
+TEST(Table, PrintAlignsColumnsAndShowsTitle)
+{
+    Table t("Figure X");
+    t.header({"workload", "savings"});
+    t.row({"SHOR", "1.0e+08"});
+    t.caption("higher is better");
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("=== Figure X ==="), std::string::npos);
+    EXPECT_NE(out.find("workload"), std::string::npos);
+    EXPECT_NE(out.find("SHOR"), std::string::npos);
+    EXPECT_NE(out.find("higher is better"), std::string::npos);
+}
+
+TEST(Table, CellAccessors)
+{
+    Table t("t");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    t.row({"3", "4"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.cell(1, 0), "3");
+}
+
+TEST(Table, MismatchedRowWidthPanics)
+{
+    quest::sim::setQuiet(true);
+    Table t("t");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only one"}), SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t("t");
+    t.header({"name", "value"});
+    t.row({"with,comma", "with\"quote"});
+
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+} // namespace

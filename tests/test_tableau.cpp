@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit and property tests for the CHP stabilizer simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quantum/tableau.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace quest::quantum;
+using quest::sim::Rng;
+
+TEST(Tableau, InitialStateIsAllZeros)
+{
+    Tableau t(4);
+    Rng rng(1);
+    for (std::size_t q = 0; q < 4; ++q) {
+        EXPECT_EQ(t.peekZ(q), 0);
+        EXPECT_FALSE(t.measureZ(q, rng));
+    }
+}
+
+TEST(Tableau, XFlipsMeasurement)
+{
+    Tableau t(2);
+    Rng rng(1);
+    t.x(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+    EXPECT_FALSE(t.measureZ(1, rng));
+}
+
+TEST(Tableau, ZDoesNotAffectZBasis)
+{
+    Tableau t(1);
+    Rng rng(1);
+    t.z(0);
+    EXPECT_FALSE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, HadamardCreatesRandomOutcome)
+{
+    Rng rng(5);
+    int ones = 0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+        Tableau t(1);
+        t.h(0);
+        EXPECT_EQ(t.peekZ(0), -1); // undetermined
+        if (t.measureZ(0, rng))
+            ++ones;
+    }
+    EXPECT_GT(ones, trials / 4);
+    EXPECT_LT(ones, 3 * trials / 4);
+}
+
+TEST(Tableau, MeasurementCollapsesState)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        Tableau t(1);
+        t.h(0);
+        const bool first = t.measureZ(0, rng);
+        // Once collapsed, repeated measurement is deterministic.
+        for (int k = 0; k < 3; ++k)
+            ASSERT_EQ(t.measureZ(0, rng), first);
+    }
+}
+
+TEST(Tableau, HZHEqualsX)
+{
+    Tableau t(1);
+    Rng rng(1);
+    t.h(0);
+    t.z(0);
+    t.h(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, SSEqualsZ)
+{
+    // S^2 |+> = Z |+> = |->; H maps it back to |1>.
+    Tableau t(1);
+    Rng rng(1);
+    t.h(0);
+    t.s(0);
+    t.s(0);
+    t.h(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, SdgUndoesS)
+{
+    Tableau t(1);
+    Rng rng(1);
+    t.h(0);
+    t.s(0);
+    t.sdg(0);
+    t.h(0);
+    EXPECT_FALSE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, CnotCopiesInComputationalBasis)
+{
+    Tableau t(2);
+    Rng rng(1);
+    t.x(0);
+    t.cnot(0, 1);
+    EXPECT_TRUE(t.measureZ(0, rng));
+    EXPECT_TRUE(t.measureZ(1, rng));
+}
+
+TEST(Tableau, BellPairCorrelations)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        Tableau t(2);
+        t.h(0);
+        t.cnot(0, 1);
+        // Bell state stabilized by XX and ZZ.
+        EXPECT_EQ(t.expectation(PauliString::fromString("XX")), 1);
+        EXPECT_EQ(t.expectation(PauliString::fromString("ZZ")), 1);
+        EXPECT_EQ(t.expectation(PauliString::fromString("ZI")), 0);
+        const bool a = t.measureZ(0, rng);
+        const bool b = t.measureZ(1, rng);
+        ASSERT_EQ(a, b);
+    }
+}
+
+TEST(Tableau, GhzStateStabilizers)
+{
+    Tableau t(3);
+    t.h(0);
+    t.cnot(0, 1);
+    t.cnot(0, 2);
+    EXPECT_EQ(t.expectation(PauliString::fromString("XXX")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromString("ZZI")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromString("IZZ")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromString("ZII")), 0);
+    // -XXX is an anti-stabilizer.
+    EXPECT_EQ(t.expectation(PauliString::fromString("-XXX")), -1);
+}
+
+TEST(Tableau, CzMatchesHCnotH)
+{
+    // CZ|+1> should phase-flip: H on qubit 0 then measure gives 1.
+    Tableau t(2);
+    Rng rng(1);
+    t.h(0);
+    t.x(1);
+    t.cz(0, 1);
+    t.h(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, SwapExchangesStates)
+{
+    Tableau t(2);
+    Rng rng(1);
+    t.x(0);
+    t.swapQubits(0, 1);
+    EXPECT_FALSE(t.measureZ(0, rng));
+    EXPECT_TRUE(t.measureZ(1, rng));
+}
+
+TEST(Tableau, ResetReturnsToZero)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+        Tableau t(2);
+        t.h(0);
+        t.cnot(0, 1);
+        t.reset(0, rng);
+        EXPECT_FALSE(t.measureZ(0, rng));
+    }
+}
+
+TEST(Tableau, ApplyPauliMatchesIndividualGates)
+{
+    Tableau a(3), b(3);
+    Rng rng(1);
+    a.applyPauli(PauliString::fromString("XYZ"));
+    b.x(0);
+    b.y(1);
+    b.z(2);
+    for (std::size_t q = 0; q < 3; ++q)
+        EXPECT_EQ(a.peekZ(q), b.peekZ(q));
+}
+
+/** Property: invariants hold under random Clifford circuits. */
+TEST(TableauProperty, InvariantsUnderRandomCircuits)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(6);
+        Tableau t(n);
+        for (int g = 0; g < 60; ++g) {
+            switch (rng.uniformInt(5)) {
+              case 0: t.h(rng.uniformInt(n)); break;
+              case 1: t.s(rng.uniformInt(n)); break;
+              case 2: {
+                std::size_t a = rng.uniformInt(n);
+                std::size_t b = rng.uniformInt(n);
+                if (a != b)
+                    t.cnot(a, b);
+                break;
+              }
+              case 3: t.x(rng.uniformInt(n)); break;
+              case 4: t.measureZ(rng.uniformInt(n), rng); break;
+            }
+        }
+        ASSERT_TRUE(t.checkInvariants()) << "trial " << trial;
+    }
+}
+
+/** Property: peekZ predicts measureZ whenever deterministic. */
+TEST(TableauProperty, PeekPredictsMeasurement)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(4);
+        Tableau t(n);
+        for (int g = 0; g < 30; ++g) {
+            switch (rng.uniformInt(4)) {
+              case 0: t.h(rng.uniformInt(n)); break;
+              case 1: t.s(rng.uniformInt(n)); break;
+              case 2: {
+                std::size_t a = rng.uniformInt(n);
+                std::size_t b = rng.uniformInt(n);
+                if (a != b)
+                    t.cnot(a, b);
+                break;
+              }
+              case 3: t.x(rng.uniformInt(n)); break;
+            }
+        }
+        const std::size_t q = rng.uniformInt(n);
+        const int peek = t.peekZ(q);
+        const bool outcome = t.measureZ(q, rng);
+        if (peek >= 0) {
+            ASSERT_EQ(outcome ? 1 : 0, peek);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the analytical T-factory / distillation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "distill/tfactory.hpp"
+#include "sim/logging.hpp"
+
+namespace {
+
+using namespace quest::distill;
+
+TEST(TFactory, RoundOutputErrorIs35EpsCubed)
+{
+    const DistillationSpec spec;
+    EXPECT_NEAR(spec.roundOutputError(1e-3), 35e-9, 1e-15);
+    EXPECT_NEAR(spec.roundOutputError(1e-4), 35e-12, 1e-18);
+}
+
+TEST(TFactory, LevelsNeededConverges)
+{
+    const TFactoryModel m;
+    // 1e-4 inputs reach 3.5e-11 after one round.
+    EXPECT_EQ(m.levelsNeeded(1e-4, 1e-10), 1u);
+    // A 1e-12 target needs a second round.
+    EXPECT_EQ(m.levelsNeeded(1e-4, 1e-12), 2u);
+    // Already clean enough: zero rounds.
+    EXPECT_EQ(m.levelsNeeded(1e-12, 1e-10), 0u);
+}
+
+TEST(TFactory, LevelsGrowVerySlowlyWithTarget)
+{
+    // The double-exponential suppression behind the paper's
+    // C^log|log(e_r)| factory scaling (Section 7).
+    const TFactoryModel m;
+    EXPECT_LE(m.levelsNeeded(1e-4, 1e-30), 3u);
+}
+
+TEST(TFactory, OutputErrorComposition)
+{
+    const TFactoryModel m;
+    const double one = m.outputError(1e-4, 1);
+    EXPECT_NEAR(one, 35e-12, 1e-18);
+    const double two = m.outputError(1e-4, 2);
+    EXPECT_NEAR(two, 35.0 * one * one * one, two * 1e-9);
+}
+
+TEST(TFactory, AboveThresholdInputPanics)
+{
+    quest::sim::setQuiet(true);
+    const TFactoryModel m;
+    // 35 eps^3 > eps for eps > 0.169: the protocol diverges.
+    EXPECT_THROW(m.levelsNeeded(0.3, 1e-10), quest::sim::SimError);
+    quest::sim::setQuiet(false);
+}
+
+TEST(TFactory, InstructionsPerStateRecursion)
+{
+    const TFactoryModel m;
+    const double per_round = double(m.spec().instructionsPerRound);
+    EXPECT_DOUBLE_EQ(m.instructionsPerState(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.instructionsPerState(1), per_round);
+    // Level 2 consumes 15 level-1 states plus its own round.
+    EXPECT_DOUBLE_EQ(m.instructionsPerState(2),
+                     per_round + 15.0 * per_round);
+}
+
+TEST(TFactory, PlanSizesFactoriesToDemand)
+{
+    const TFactoryModel m;
+    const TFactoryPlan plan = m.plan(1e-4, /*total_t=*/1e9,
+                                     /*t_rate=*/0.7);
+    EXPECT_GE(plan.levels, 1u);
+    EXPECT_LT(plan.outputError * 1e9, 0.5 + 1e-9);
+    // factories x (1 state per stepsPerMagicState) >= t_rate.
+    EXPECT_GE(double(plan.factories) / plan.stepsPerMagicState,
+              0.7 - 1e-9);
+}
+
+TEST(TFactory, DeeperPlansCostMore)
+{
+    const TFactoryModel m;
+    // Huge T count forces an extra level; everything grows.
+    const TFactoryPlan shallow = m.plan(1e-4, 1e8, 0.7);
+    const TFactoryPlan deep = m.plan(1e-4, 1e14, 0.7);
+    EXPECT_GT(deep.levels, shallow.levels);
+    EXPECT_GT(deep.instrPerMagicState, shallow.instrPerMagicState);
+    EXPECT_GT(deep.logicalQubitsPerFactory,
+              shallow.logicalQubitsPerFactory);
+    EXPECT_GT(deep.plantInstrPerStep, shallow.plantInstrPerStep);
+}
+
+TEST(TFactory, WorseErrorRateNeedsDeeperPlan)
+{
+    const TFactoryModel m;
+    const TFactoryPlan coarse = m.plan(1e-3, 1e10, 0.7);
+    const TFactoryPlan fine = m.plan(1e-5, 1e10, 0.7);
+    EXPECT_GE(coarse.levels, fine.levels);
+    EXPECT_GE(coarse.plantInstrPerStep, fine.plantInstrPerStep);
+}
+
+TEST(TFactory, PlantInstrRateMatchesFactoryFootprint)
+{
+    const TFactoryModel m;
+    const TFactoryPlan plan = m.plan(1e-4, 1e12, 0.7);
+    EXPECT_DOUBLE_EQ(plan.plantInstrPerStep,
+                     double(plan.factories)
+                         * plan.logicalQubitsPerFactory);
+}
+
+} // namespace

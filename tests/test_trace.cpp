@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for trace containers and generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/trace.hpp"
+
+namespace {
+
+using namespace quest::isa;
+
+TEST(LogicalTrace, AppendCountAndBytes)
+{
+    LogicalTrace t;
+    t.append(LogicalOpcode::T, 1);
+    t.append(LogicalOpcode::Hadamard, 2);
+    t.append(LogicalOpcode::T, 3);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.count(LogicalOpcode::T), 2u);
+    EXPECT_EQ(t.bytes(), 6u); // 2 bytes per instruction
+    EXPECT_NEAR(t.tFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LogicalTrace, EncodeDecodeAllRoundTrips)
+{
+    LogicalTrace t;
+    for (std::uint16_t i = 0; i < 100; ++i)
+        t.append(LogicalOpcode::Cnot, i);
+    const LogicalTrace back = LogicalTrace::decodeAll(t.encodeAll());
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(back.at(i), t.at(i));
+}
+
+TEST(TraceGen, RespectsSizeAndOpcodeMix)
+{
+    TraceGenConfig cfg;
+    cfg.numInstructions = 20000;
+    cfg.logicalQubits = 32;
+    cfg.tFraction = 0.28;
+    const LogicalTrace t = generateApplicationTrace(cfg);
+    EXPECT_EQ(t.size(), cfg.numInstructions);
+    // T fraction matches the paper's 25-30% (Section 5.2).
+    EXPECT_NEAR(t.tFraction(), 0.28, 0.02);
+    // Operands stay within the declared register file.
+    for (const auto &ins : t)
+        ASSERT_LT(ins.operand, cfg.logicalQubits);
+}
+
+TEST(TraceGen, DeterministicForFixedSeed)
+{
+    TraceGenConfig cfg;
+    cfg.numInstructions = 500;
+    cfg.seed = 7;
+    const LogicalTrace a = generateApplicationTrace(cfg);
+    const LogicalTrace b = generateApplicationTrace(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    TraceGenConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    const LogicalTrace a = generateApplicationTrace(a_cfg);
+    const LogicalTrace b = generateApplicationTrace(b_cfg);
+    bool differ = false;
+    for (std::size_t i = 0; i < a.size() && !differ; ++i)
+        differ = !(a.at(i) == b.at(i));
+    EXPECT_TRUE(differ);
+}
+
+TEST(DistillationTrace, SizeInPaperRange)
+{
+    // "A typical distillation algorithm has 100 to 200 logical
+    // instructions" (Section 5.3).
+    const LogicalTrace t = generateDistillationRound(0);
+    EXPECT_GE(t.size(), 100u);
+    EXPECT_LE(t.size(), 200u);
+}
+
+TEST(DistillationTrace, DeterministicControlFlow)
+{
+    // The icache relies on identical replay.
+    const LogicalTrace a = generateDistillationRound(16);
+    const LogicalTrace b = generateDistillationRound(16);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.at(i), b.at(i));
+}
+
+TEST(DistillationTrace, ContainsFifteenTInjections)
+{
+    const LogicalTrace t = generateDistillationRound(0);
+    EXPECT_EQ(t.count(quest::isa::LogicalOpcode::T), 15u);
+    EXPECT_EQ(t.count(quest::isa::LogicalOpcode::Cnot), 35u);
+}
+
+TEST(DistillationTrace, OperandsOffsetByFactoryBase)
+{
+    const LogicalTrace t = generateDistillationRound(100);
+    for (const auto &ins : t) {
+        ASSERT_GE(ins.operand, 100u);
+        ASSERT_LE(ins.operand, 115u);
+    }
+}
+
+} // namespace

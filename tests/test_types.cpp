@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the tick/unit helpers in sim/types.hpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hpp"
+
+namespace {
+
+using namespace quest::sim;
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1), 1000u * 1000u);
+    EXPECT_EQ(milliseconds(1), 1000ull * 1000 * 1000);
+    EXPECT_EQ(seconds(1), 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Types, TicksToSecondsIsInverseOfSecondsToTicks)
+{
+    for (double s : { 1e-9, 2.42e-6, 405e-9, 1.0, 3600.0 }) {
+        const Tick t = secondsToTicks(s);
+        EXPECT_NEAR(ticksToSeconds(t), s, s * 1e-9);
+    }
+}
+
+TEST(Types, ClockPeriodFromHz)
+{
+    // 100 MHz -> 10 ns == 10000 ticks.
+    EXPECT_EQ(clockPeriodFromHz(100e6), 10000u);
+    // 10 GHz -> 100 ps.
+    EXPECT_EQ(clockPeriodFromHz(10e9), 100u);
+}
+
+TEST(Types, FormatRateUsesUnits)
+{
+    EXPECT_EQ(formatRate(100.0), "100.00 B/s");
+    EXPECT_EQ(formatRate(100e6), "100.00 MB/s");
+    EXPECT_EQ(formatRate(100e12), "100.00 TB/s");
+}
+
+TEST(Types, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(4096), "4.10 KB");
+}
+
+TEST(Types, FormatSecondsPicksPrefix)
+{
+    EXPECT_EQ(formatSeconds(2.42e-6), "2.42 us");
+    EXPECT_EQ(formatSeconds(405e-9), "405.00 ns");
+    EXPECT_EQ(formatSeconds(1.5), "1.50 s");
+}
+
+TEST(Types, FormatCountLargeValuesUseScientific)
+{
+    EXPECT_EQ(formatCount(1.6e8), "1.60e+08");
+    EXPECT_EQ(formatCount(42.0), "42");
+}
+
+} // namespace

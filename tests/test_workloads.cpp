@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the workload catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace quest::workloads;
+
+TEST(Workloads, SuiteHasSevenEntries)
+{
+    const auto suite = workloadSuite();
+    ASSERT_EQ(suite.size(), 7u);
+    std::set<std::string> names;
+    for (const auto &w : suite)
+        names.insert(w.name);
+    EXPECT_TRUE(names.contains("BWT"));
+    EXPECT_TRUE(names.contains("BF"));
+    EXPECT_TRUE(names.contains("GSE"));
+    EXPECT_TRUE(names.contains("FeMoCo"));
+    EXPECT_TRUE(names.contains("QLS"));
+    EXPECT_TRUE(names.contains("SHOR-512"));
+    EXPECT_TRUE(names.contains("TFP"));
+}
+
+TEST(Workloads, TFractionsInPaperRange)
+{
+    // Section 5.2: T gates are 25-30% of the instruction stream.
+    for (const auto &w : workloadSuite()) {
+        EXPECT_GE(w.tFraction, 0.25) << w.name;
+        EXPECT_LE(w.tFraction, 0.30) << w.name;
+    }
+}
+
+TEST(Workloads, IlpInPaperRange)
+{
+    // Section 5.2: 2-3 logical instructions in parallel.
+    for (const auto &w : workloadSuite()) {
+        EXPECT_GE(w.ilp, 2.0) << w.name;
+        EXPECT_LE(w.ilp, 3.0) << w.name;
+    }
+}
+
+TEST(Workloads, DerivedQuantities)
+{
+    const Workload w{"X", 100, 1e6, 0.25, 2.5};
+    EXPECT_DOUBLE_EQ(w.depth(), 4e5);
+    EXPECT_DOUBLE_EQ(w.tGates(), 2.5e5);
+}
+
+TEST(Workloads, ShorScalesWithInputSize)
+{
+    const Workload small = shor(128);
+    const Workload big = shor(1024);
+    EXPECT_DOUBLE_EQ(small.logicalQubits, 2 * 128 + 3);
+    EXPECT_DOUBLE_EQ(big.logicalQubits, 2 * 1024 + 3);
+    // Cubic gate growth: 8x input -> 512x gates.
+    EXPECT_NEAR(big.logicalGates / small.logicalGates, 512.0, 1e-9);
+}
+
+TEST(Workloads, ChemistryWorkloadsAreDeep)
+{
+    // FeMoCo and GSE carry the largest gate counts in the suite.
+    EXPECT_GT(femoco().logicalGates, gse().logicalGates * 0.9);
+    EXPECT_GT(gse().logicalGates, qls().logicalGates);
+    EXPECT_GT(qls().logicalGates, bwt().logicalGates);
+}
+
+} // namespace

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * quest — command-line front end to the QuEST library.
+ *
+ * Subcommands:
+ *   estimate   QuRE-style resource & bandwidth estimation for a
+ *              workload (the Figure 2/6/13/14 pipeline).
+ *   microcode  microcode design-space report for every syndrome
+ *              protocol (the Table-2 search).
+ *   trace-gen  synthesize an application trace to a binary file.
+ *   replay     run a trace file through the cycle-level system and
+ *              print the bus ledger.
+ *   simulate   surface-code memory experiment (logical error rate).
+ *
+ * Run `quest <subcommand> --help` for the flags of each.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "decode/pipeline.hpp"
+#include "isa/trace.hpp"
+#include "qecc/extractor.hpp"
+#include "sim/table.hpp"
+#include "workloads/estimator.hpp"
+
+namespace {
+
+using namespace quest;
+
+/** Tiny --flag=value / --flag value option parser. */
+class Options
+{
+  public:
+    Options(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            arg = arg.substr(2);
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                _values[arg.substr(0, eq)] = arg.substr(eq + 1);
+            } else if (i + 1 < argc
+                       && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                _values[arg] = argv[++i];
+            } else {
+                _values[arg] = "1";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return _values.contains(key);
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = _values.find(key);
+        return it == _values.end() ? fallback : it->second;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = _values.find(key);
+        return it == _values.end() ? fallback
+                                   : std::atof(it->second.c_str());
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        const auto it = _values.find(key);
+        return it == _values.end() ? fallback
+                                   : std::atol(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+tech::Technology
+parseTechnology(const std::string &name)
+{
+    for (tech::Technology t : tech::allTechnologies)
+        if (tech::technologyName(t) == name)
+            return t;
+    sim::fatal("unknown technology '%s' (ExperimentalS, ProjectedF, "
+               "ProjectedD)", name.c_str());
+}
+
+qecc::Protocol
+parseProtocol(const std::string &name)
+{
+    for (qecc::Protocol p : qecc::allProtocols)
+        if (qecc::protocolName(p) == name)
+            return p;
+    sim::fatal("unknown protocol '%s' (Steane, Shor, SC-17, SC-13)",
+               name.c_str());
+}
+
+workloads::Workload
+parseWorkload(const Options &opts)
+{
+    if (opts.has("shor"))
+        return workloads::shor(std::size_t(opts.getInt("shor", 512)));
+    const std::string name = opts.get("workload", "SHOR-512");
+    for (const auto &w : workloads::workloadSuite())
+        if (w.name == name)
+            return w;
+    sim::fatal("unknown workload '%s' (BWT, BF, GSE, FeMoCo, QLS, "
+               "SHOR-512, TFP; or --shor BITS)", name.c_str());
+}
+
+int
+cmdEstimate(const Options &opts)
+{
+    workloads::EstimatorConfig cfg;
+    cfg.physicalErrorRate = opts.getDouble("error-rate", 1e-4);
+    cfg.technology = parseTechnology(opts.get("tech", "ProjectedD"));
+    cfg.protocol = parseProtocol(opts.get("protocol", "Steane"));
+
+    const workloads::Workload w = parseWorkload(opts);
+    const auto r = workloads::ResourceEstimator(cfg).estimate(w);
+
+    sim::Table table("estimate: " + w.name);
+    table.header({ "quantity", "value" });
+    table.row({ "logical qubits (app)",
+                sim::formatCount(r.appLogicalQubits) });
+    table.row({ "logical qubits (factories)",
+                sim::formatCount(r.factoryLogicalQubits) });
+    table.row({ "code distance", std::to_string(r.codeDistance) });
+    table.row({ "physical qubits",
+                sim::formatCount(r.physicalQubits) });
+    table.row({ "T factories",
+                std::to_string(r.tPlan.factories) });
+    table.row({ "execution time",
+                sim::formatSeconds(r.execTimeSeconds) });
+    table.row({ "baseline bandwidth",
+                sim::formatRate(r.baselineBandwidth) });
+    table.row({ "QuEST (MCE) bandwidth",
+                sim::formatRate(r.mceBandwidth) });
+    table.row({ "QuEST (+icache) bandwidth",
+                sim::formatRate(r.cachedBandwidth) });
+    table.row({ "MCE-only savings",
+                sim::formatCount(r.mceSavings()) });
+    table.row({ "total savings",
+                sim::formatCount(r.totalSavings()) });
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdMicrocode(const Options &opts)
+{
+    const auto capacity =
+        std::size_t(opts.getInt("capacity", 4096));
+    const tech::Technology technology =
+        parseTechnology(opts.get("tech", "ProjectedD"));
+    const tech::JJMemoryModel mem;
+
+    sim::Table table("microcode design space @ "
+                     + std::to_string(capacity) + " bits");
+    table.header({ "syndrome", "optimal config", "qubits/MCE",
+                   "JJs", "power (uW)" });
+    for (qecc::Protocol p : qecc::allProtocols) {
+        const core::MicrocodeModel model(qecc::protocolSpec(p),
+                                         technology);
+        const tech::MemoryConfig best = model.optimalConfig(capacity);
+        char power[32];
+        std::snprintf(power, sizeof(power), "%.1f",
+                      mem.powerUw(best));
+        table.row({
+            qecc::protocolName(p),
+            best.toString(),
+            std::to_string(model.servicedQubits(
+                core::MicrocodeDesign::UnitCell, best)),
+            std::to_string(mem.jjCount(best)),
+            power,
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTraceGen(const Options &opts)
+{
+    isa::TraceGenConfig cfg;
+    cfg.numInstructions =
+        std::size_t(opts.getInt("instructions", 10000));
+    cfg.logicalQubits = std::size_t(opts.getInt("qubits", 16));
+    cfg.seed = std::uint64_t(opts.getInt("seed", 1));
+    cfg.maskFraction = opts.getDouble("mask-fraction", 0.0);
+    const std::string out = opts.get("out", "trace.qtrace");
+
+    const isa::LogicalTrace trace = generateApplicationTrace(cfg);
+    trace.saveBinary(out);
+    std::printf("wrote %zu instructions (%zu bytes, T fraction "
+                "%.2f) to %s\n",
+                trace.size(), trace.bytes(), trace.tFraction(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Options &opts)
+{
+    const std::string path = opts.get("trace", "trace.qtrace");
+    const auto mces = std::size_t(opts.getInt("mces", 4));
+    const auto rounds = std::size_t(opts.getInt("rounds", 1024));
+
+    const isa::LogicalTrace trace = isa::LogicalTrace::loadBinary(path);
+
+    core::MasterConfig cfg;
+    cfg.numMces = mces;
+    cfg.mce = core::tileConfigForLogicalQubits(
+        std::size_t(opts.getInt("distance", 3)));
+    cfg.mce.errorRates = quantum::ErrorRates{
+        opts.getDouble("error-rate", 1e-4), 0, 0, 0,
+        opts.getDouble("error-rate", 1e-4)};
+
+    core::QuestSystem system(cfg);
+    system.placeLogicalQubits();
+    system.runMixedWorkload(trace,
+                            isa::generateDistillationRound(0),
+                            rounds);
+    std::printf("%s\n", system.report().toString().c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const Options &opts)
+{
+    const auto d = std::size_t(opts.getInt("distance", 5));
+    const double p = opts.getDouble("error-rate", 1e-3);
+    const int trials = int(opts.getInt("trials", 2000));
+
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
+    const auto schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(
+                     parseProtocol(opts.get("protocol", "Steane"))));
+    const qecc::SyndromeExtractor extractor(schedule);
+    decode::DecoderPipeline pipeline(lattice);
+    sim::Rng rng(std::uint64_t(opts.getInt("seed", 1)));
+
+    int failures = 0;
+    for (int t = 0; t < trials; ++t) {
+        quantum::PauliFrame frame(lattice.numQubits());
+        quantum::ErrorChannel channel(
+            quantum::ErrorRates{p, 0, 0, 0, p}, rng);
+        auto history = extractor.runRounds(frame, &channel, d);
+        history.push_back(extractor.runRound(frame, nullptr));
+        const auto events =
+            decode::extractDetectionEvents(history, extractor);
+        decode::applyCorrection(frame, pipeline.decode(events));
+
+        bool failed = extractor.runRound(frame, nullptr).any();
+        if (!failed) {
+            std::size_t x = 0, z = 0;
+            for (const qecc::Coord c : lattice.logicalZSupport())
+                x += frame.xError(lattice.index(c)) ? 1 : 0;
+            for (const qecc::Coord c : lattice.logicalXSupport())
+                z += frame.zError(lattice.index(c)) ? 1 : 0;
+            failed = (x % 2) || (z % 2);
+        }
+        failures += failed ? 1 : 0;
+    }
+    std::printf("d=%zu p=%g trials=%d logical_error_rate=%.3e "
+                "lut_coverage=%.1f%%\n",
+                d, p, trials, double(failures) / double(trials),
+                pipeline.localCoverage() * 100.0);
+    return 0;
+}
+
+void
+usage()
+{
+    std::puts(
+        "usage: quest <subcommand> [--flag value ...]\n"
+        "\n"
+        "subcommands:\n"
+        "  estimate   --workload NAME | --shor BITS  [--error-rate P]\n"
+        "             [--tech T] [--protocol S]\n"
+        "  microcode  [--capacity BITS] [--tech T]\n"
+        "  trace-gen  [--out FILE] [--instructions N] [--qubits N]\n"
+        "             [--seed S]\n"
+        "  replay     --trace FILE [--mces N] [--rounds N]\n"
+        "             [--distance D] [--error-rate P]\n"
+        "  simulate   [--distance D] [--error-rate P] [--trials N]\n"
+        "             [--protocol S] [--seed S]");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Options opts(argc, argv, 2);
+    try {
+        if (cmd == "estimate")
+            return cmdEstimate(opts);
+        if (cmd == "microcode")
+            return cmdMicrocode(opts);
+        if (cmd == "trace-gen")
+            return cmdTraceGen(opts);
+        if (cmd == "replay")
+            return cmdReplay(opts);
+        if (cmd == "simulate")
+            return cmdSimulate(opts);
+        usage();
+        return 2;
+    } catch (const quest::sim::SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
