@@ -15,10 +15,34 @@ networkConfigFor(const MasterConfig &cfg)
     return net;
 }
 
+decode::DeadlineConfig
+deadlineConfigFor(const MasterConfig &cfg)
+{
+    decode::DeadlineConfig dl;
+    if (!cfg.modelDecodeDeadline)
+        return dl; // windowTicks 0: deadline arithmetic disabled
+    const auto &spec = qecc::protocolSpec(cfg.mce.protocol);
+    const auto lat = tech::gateLatencies(cfg.mce.technology);
+    const std::size_t window = cfg.decodeWindowRounds
+        ? cfg.decodeWindowRounds
+        : cfg.mce.distance;
+    dl.windowTicks = sim::Tick(window) * spec.roundDuration(lat);
+    return dl;
+}
+
+/** Heartbeat ping/response token size (a sync-class packet). */
+constexpr std::size_t heartbeatBytes = tech::logicalInstrBytes;
+
+/** Microcode parity status poll size. */
+constexpr std::size_t scrubPollBytes = tech::logicalInstrBytes;
+
 } // namespace
 
 MasterController::MasterController(const MasterConfig &cfg)
     : _cfg(cfg),
+      _faults(cfg.faults),
+      _deadline(deadlineConfigFor(cfg)),
+      _missedHeartbeats(cfg.numMces, 0),
       _stats("master"),
       _network(networkConfigFor(cfg), _stats),
       _bytesLogical(_stats.scalar(
@@ -31,14 +55,50 @@ MasterController::MasterController(const MasterConfig &cfg)
           "bus_bytes_corrections", "correction downloads (bytes)")),
       _bytesCache(_stats.scalar(
           "bus_bytes_cache",
-          "distillation block fills and replay tokens (bytes)"))
+          "distillation block fills and replay tokens (bytes)")),
+      _bytesScrub(_stats.scalar(
+          "bus_bytes_scrub",
+          "microcode parity polls and image re-uploads (bytes)")),
+      _faultStats("faults"),
+      _seuInjected(_faultStats.scalar(
+          "seu_injected", "microcode SEU bit-flips injected")),
+      _seuDetected(_faultStats.scalar(
+          "seu_detected", "parity-failed words caught by scrubbing")),
+      _seuSilent(_faultStats.scalar(
+          "seu_silent_repaired",
+          "parity-masked flips cleared by an image rewrite")),
+      _scrubs(_faultStats.scalar(
+          "scrubs", "microcode image re-uploads")),
+      _decoderOverruns(_faultStats.scalar(
+          "decoder_overruns", "global decodes past the window deadline")),
+      _decoderFallbacks(_faultStats.scalar(
+          "decoder_fallbacks",
+          "windows degraded to the union-find cluster decoder")),
+      _heartbeats(_faultStats.scalar(
+          "heartbeats", "watchdog heartbeats sent")),
+      _heartbeatsMissed(_faultStats.scalar(
+          "heartbeats_missed", "heartbeats a wedged MCE failed to answer")),
+      _hangsInjected(_faultStats.scalar(
+          "hangs_injected", "MCE control hangs injected")),
+      _quarantines(_faultStats.scalar(
+          "quarantines", "tiles quarantined by the watchdog")),
+      _resumes(_faultStats.scalar(
+          "resumes", "quarantined tiles re-synced and resumed")),
+      _busEscalations(_faultStats.scalar(
+          "bus_escalations",
+          "supervisor re-issues after the link retry budget failed")),
+      _packetsAbandoned(_faultStats.scalar(
+          "packets_abandoned",
+          "bus packets abandoned to the out-of-band slow path"))
 {
     QUEST_ASSERT(cfg.numMces > 0, "need at least one MCE");
+    _network.attachFaults(&_faults);
     for (std::size_t i = 0; i < cfg.numMces; ++i) {
         MceConfig mc = cfg.mce;
         mc.seed = cfg.mce.seed + i * 0x9E37u;
         _mces.push_back(std::make_unique<Mce>(
             "mce" + std::to_string(i), mc));
+        _mces.back()->attachFaults(&_faults);
         _stats.addChild(_mces.back()->stats());
     }
     for (const auto &m : _mces) {
@@ -55,6 +115,29 @@ MasterController::MasterController(const MasterConfig &cfg)
         _decoders[i].setMaskPredicate(predicate);
         _clusterDecoders[i].setMaskPredicate(predicate);
     }
+    // Link-level retry counters, mirrored so the faults group is the
+    // one-stop report a fault sweep reads.
+    _faultStats.formula("network_retransmits",
+                        "link-level retransmissions",
+                        [this] { return _network.retransmits(); });
+    _faultStats.formula("network_lost", "packets dropped in flight",
+                        [this] { return _network.lostPackets(); });
+    _faultStats.formula("network_corrupted",
+                        "packets rejected by CRC",
+                        [this] {
+                            return _network.corruptedPackets();
+                        });
+    _faultStats.formula("network_failures",
+                        "packets past the link retry budget",
+                        [this] {
+                            return _network.deliveryFailures();
+                        });
+    _faultStats.formula("network_overhead_bytes",
+                        "CRC/ACK protocol bytes",
+                        [this] {
+                            return _network.protocolOverheadBytes();
+                        });
+    _stats.addChild(_faultStats);
 }
 
 std::size_t
@@ -65,18 +148,40 @@ MasterController::decodeWindow() const
 }
 
 void
+MasterController::sendOnBus(std::size_t mce_idx, std::size_t bytes,
+                            sim::Scalar &category)
+{
+    category += double(bytes);
+    PacketTiming timing = _network.send(mce_idx, bytes);
+    // The link-level ARQ gives up after its retry budget; the master
+    // then re-issues the whole packet (a supervisor retransmission)
+    // a bounded number of times before abandoning delivery to the
+    // out-of-band slow path.
+    for (std::size_t esc = 0;
+         !timing.delivered && esc < maxBusEscalations; ++esc) {
+        ++_busEscalations;
+        category += double(bytes);
+        timing = _network.send(mce_idx, bytes);
+    }
+    if (!timing.delivered) {
+        ++_packetsAbandoned;
+        sim::warn("abandoning %zu-byte packet to MCE %zu after %zu "
+                  "supervisor re-issues",
+                  bytes, mce_idx, maxBusEscalations);
+    }
+}
+
+void
 MasterController::dispatch(const isa::LogicalInstr &instr)
 {
     const std::size_t target = instr.operand % _mces.size();
     isa::LogicalInstr local = instr;
     local.operand = std::uint16_t(instr.operand / _mces.size());
     if (instr.opcode == isa::LogicalOpcode::SyncToken) {
-        _bytesSync += double(tech::logicalInstrBytes);
-        _network.send(target, tech::logicalInstrBytes);
+        sendOnBus(target, tech::logicalInstrBytes, _bytesSync);
         return;
     }
-    _bytesLogical += double(tech::logicalInstrBytes);
-    _network.send(target, tech::logicalInstrBytes);
+    sendOnBus(target, tech::logicalInstrBytes, _bytesLogical);
     _mces[target]->executeLogical(local);
 }
 
@@ -94,17 +199,15 @@ MasterController::dispatchBlock(std::size_t mce_idx,
 {
     const ICacheAccess access =
         _mces.at(mce_idx)->executeBlock(block_id, body);
-    _bytesCache += double(access.bytesFetched);
-    _network.send(mce_idx, access.bytesFetched);
+    sendOnBus(mce_idx, access.bytesFetched, _bytesCache);
     return access;
 }
 
 void
 MasterController::broadcastSync()
 {
-    _bytesSync += double(_mces.size() * tech::logicalInstrBytes);
     for (std::size_t i = 0; i < _mces.size(); ++i)
-        _network.send(i, tech::logicalInstrBytes);
+        sendOnBus(i, tech::logicalInstrBytes, _bytesSync);
 }
 
 int
@@ -127,12 +230,9 @@ MasterController::transferLogicalQubit(std::size_t src_mce,
     // both endpoints (4 logical packets), plus a sync token each.
     constexpr std::size_t transfer_packets = 4;
     for (std::size_t ep : { src_mce, dst_mce }) {
-        const std::size_t bytes =
-            transfer_packets * tech::logicalInstrBytes;
-        _bytesLogical += double(bytes);
-        _network.send(ep, bytes);
-        _bytesSync += double(tech::logicalInstrBytes);
-        _network.send(ep, tech::logicalInstrBytes);
+        sendOnBus(ep, transfer_packets * tech::logicalInstrBytes,
+                  _bytesLogical);
+        sendOnBus(ep, tech::logicalInstrBytes, _bytesSync);
     }
 
     // One code distance of rounds completes the fault-tolerant
@@ -144,38 +244,134 @@ MasterController::transferLogicalQubit(std::size_t src_mce,
 }
 
 void
+MasterController::injectRoundFaults()
+{
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        if (!_mces[i]->hung()
+            && _faults.fire(sim::FaultSite::MceHang)) {
+            _mces[i]->wedge();
+            ++_hangsInjected;
+        }
+        if (_faults.fire(sim::FaultSite::MicrocodeSeu)) {
+            _mces[i]->microcodeStore().flipRandomBit(
+                _faults.rng(sim::FaultSite::MicrocodeSeu));
+            ++_seuInjected;
+        }
+    }
+}
+
+void
 MasterController::stepRound()
 {
+    if (_faults.enabled())
+        injectRoundFaults();
     for (auto &m : _mces)
         m->runQeccRound();
     ++_roundsRun;
     ++_roundsSinceDecode;
+    if (_cfg.heartbeatIntervalRounds
+        && _roundsRun % _cfg.heartbeatIntervalRounds == 0)
+        heartbeatNow();
+    if (_cfg.scrubIntervalRounds
+        && _roundsRun % _cfg.scrubIntervalRounds == 0)
+        scrubNow();
     if (_roundsSinceDecode >= decodeWindow())
         decodeNow();
 }
 
 void
-MasterController::decodeNow()
+MasterController::heartbeatNow()
 {
     for (std::size_t i = 0; i < _mces.size(); ++i) {
-        const decode::DetectionEvents residual =
-            _mces[i]->collectResidualEvents();
-        _bytesSyndrome += double(residual.total()
-                                 * decode::detectionEventBytes);
-        if (residual.total() == 0)
+        ++_heartbeats;
+        sendOnBus(i, heartbeatBytes, _bytesSync);
+        if (_mces[i]->hung()) {
+            // No response: the engine is wedged.
+            ++_heartbeatsMissed;
+            if (++_missedHeartbeats[i]
+                >= _cfg.watchdogMissThreshold)
+                quarantineAndResync(i);
             continue;
-        _network.send(i, residual.total()
-                             * decode::detectionEventBytes);
-        const decode::Correction corr =
-            _cfg.globalDecoder == GlobalDecoderKind::Mwpm
-                ? _decoders[i].decode(residual)
-                : _clusterDecoders[i].decode(residual);
-        _bytesCorrections += double(corr.weight()
-                                    * correctionEntryBytes);
-        if (corr.weight() > 0)
-            _network.send(i, corr.weight() * correctionEntryBytes);
-        _mces[i]->applyCorrection(corr);
+        }
+        _missedHeartbeats[i] = 0;
+        // Healthy engines answer with a status token.
+        sendOnBus(i, heartbeatBytes, _bytesSync);
     }
+}
+
+void
+MasterController::quarantineAndResync(std::size_t mce_idx)
+{
+    ++_quarantines;
+    _missedHeartbeats[mce_idx] = 0;
+    Mce &m = *_mces[mce_idx];
+    // Quarantine: stop trusting the tile's state, re-upload its
+    // full microcode image, reset the engine, then decode whatever
+    // syndrome accumulated while it was wedged before resuming.
+    sendOnBus(mce_idx, m.microcodeStore().imageBytes(), _bytesScrub);
+    m.recover();
+    decodeTile(mce_idx);
+    ++_resumes;
+}
+
+void
+MasterController::scrubNow()
+{
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        sendOnBus(i, scrubPollBytes, _bytesScrub);
+        MicrocodeStore &store = _mces[i]->microcodeStore();
+        if (store.parityErrorWords() == 0)
+            continue; // parity-clean (even-flip corruption is silent)
+        _seuDetected += double(store.parityErrorWords());
+        _seuSilent += double(store.silentBits());
+        sendOnBus(i, store.imageBytes(), _bytesScrub);
+        store.repair();
+        ++_scrubs;
+    }
+}
+
+void
+MasterController::decodeTile(std::size_t mce_idx)
+{
+    const decode::DetectionEvents residual =
+        _mces[mce_idx]->collectResidualEvents();
+    if (residual.total() == 0)
+        return;
+    sendOnBus(mce_idx, residual.total() * decode::detectionEventBytes,
+              _bytesSyndrome);
+
+    bool use_cluster =
+        _cfg.globalDecoder == GlobalDecoderKind::Cluster;
+    if (!use_cluster && _cfg.modelDecodeDeadline) {
+        const bool injected =
+            _faults.fire(sim::FaultSite::DecoderOverrun);
+        const bool analytic = _deadline.overruns(residual.total());
+        if (injected || analytic) {
+            // The exact matcher would miss the window: degrade to
+            // the union-find cluster decoder for this window, and
+            // charge the lateness as stretched noise on the tile.
+            ++_decoderOverruns;
+            ++_decoderFallbacks;
+            use_cluster = true;
+            _mces[mce_idx]->stretchNoise(
+                _deadline.stretch(residual.total()),
+                decodeWindow());
+        }
+    }
+    const decode::Correction corr = use_cluster
+        ? _clusterDecoders[mce_idx].decode(residual)
+        : _decoders[mce_idx].decode(residual);
+    if (corr.weight() > 0)
+        sendOnBus(mce_idx, corr.weight() * correctionEntryBytes,
+                  _bytesCorrections);
+    _mces[mce_idx]->applyCorrection(corr);
+}
+
+void
+MasterController::decodeNow()
+{
+    for (std::size_t i = 0; i < _mces.size(); ++i)
+        decodeTile(i);
     _roundsSinceDecode = 0;
 }
 
@@ -184,7 +380,7 @@ MasterController::totalBusBytes() const
 {
     return _bytesLogical.value() + _bytesSync.value()
         + _bytesSyndrome.value() + _bytesCorrections.value()
-        + _bytesCache.value();
+        + _bytesCache.value() + _bytesScrub.value();
 }
 
 double

@@ -19,8 +19,10 @@
 
 #include "decode/cluster_decoder.hpp"
 #include "decode/mwpm_decoder.hpp"
+#include "decode/pipeline.hpp"
 #include "mce.hpp"
 #include "network.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace quest::core {
 
@@ -44,10 +46,40 @@ struct MasterConfig
     /** Global interconnect parameters (mceCount is overridden to
      *  numMces at construction). */
     NetworkConfig network;
+
+    /** @name Classical fault model & resilience knobs.
+     *  Defaults keep the whole layer off: all-zero fault rates,
+     *  no scrub, no watchdog, no deadline modeling -- bit-identical
+     *  to the fault-free design. */
+    ///@{
+
+    /** Per-site classical fault rates and replay seed. */
+    sim::FaultConfig faults;
+
+    /** Rounds between microcode parity scrubs (0 disables). The
+     *  scrub polls every MCE's parity flag and re-uploads the full
+     *  image of any corrupted tile over the bus. */
+    std::size_t scrubIntervalRounds = 0;
+
+    /** Rounds between MCE heartbeats (0 disables the watchdog). */
+    std::size_t heartbeatIntervalRounds = 0;
+
+    /** Missed heartbeats before a tile is quarantined/re-synced. */
+    std::size_t watchdogMissThreshold = 2;
+
+    /** Model the global decoder's real-time deadline: an MWPM
+     *  decode that would overrun the window degrades to the
+     *  union-find cluster decoder and the tile's noise is stretched
+     *  for the late window (host::delivery's inflation model). */
+    bool modelDecodeDeadline = false;
+    ///@}
 };
 
 /** Bytes on the bus per forwarded correction entry. */
 inline constexpr std::size_t correctionEntryBytes = 4;
+
+/** Supervisor re-issues after the link-level retry budget fails. */
+inline constexpr std::size_t maxBusEscalations = 8;
 
 /** The 77 K master controller plus its array of MCEs. */
 class MasterController
@@ -114,6 +146,52 @@ class MasterController
     /** Force a global decode immediately. */
     void decodeNow();
 
+    /** @name Classical resilience. */
+    ///@{
+
+    /**
+     * Run one heartbeat sweep now: ping every MCE, count misses,
+     * and quarantine/re-sync any tile past the miss threshold.
+     */
+    void heartbeatNow();
+
+    /**
+     * Run one microcode scrub now: poll every MCE's parity flag and
+     * re-upload the full image of any corrupted tile.
+     */
+    void scrubNow();
+
+    sim::FaultInjector &faultInjector() { return _faults; }
+    sim::StatGroup &faultStats() { return _faultStats; }
+    const decode::DecodeDeadline &decodeDeadline() const
+    {
+        return _deadline;
+    }
+
+    double seuInjected() const { return _seuInjected.value(); }
+    double seuDetected() const { return _seuDetected.value(); }
+    double seuSilentRepaired() const { return _seuSilent.value(); }
+    double scrubCount() const { return _scrubs.value(); }
+    double decoderOverruns() const { return _decoderOverruns.value(); }
+    double decoderFallbacks() const
+    {
+        return _decoderFallbacks.value();
+    }
+    double heartbeatsSent() const { return _heartbeats.value(); }
+    double heartbeatsMissed() const
+    {
+        return _heartbeatsMissed.value();
+    }
+    double hangsInjected() const { return _hangsInjected.value(); }
+    double quarantineCount() const { return _quarantines.value(); }
+    double resumeCount() const { return _resumes.value(); }
+    double busEscalations() const { return _busEscalations.value(); }
+    double packetsAbandoned() const
+    {
+        return _packetsAbandoned.value();
+    }
+    ///@}
+
     /** @name Global bus accounting (bytes). */
     ///@{
     double busBytesLogical() const { return _bytesLogical.value(); }
@@ -127,6 +205,8 @@ class MasterController
     {
         return _bytesCache.value();
     }
+    /** Microcode scrub polls and image re-uploads. */
+    double busBytesScrub() const { return _bytesScrub.value(); }
     double totalBusBytes() const;
     ///@}
 
@@ -153,6 +233,10 @@ class MasterController
     std::size_t _roundsRun = 0;
     std::size_t _roundsSinceDecode = 0;
 
+    sim::FaultInjector _faults;
+    decode::DecodeDeadline _deadline;
+    std::vector<std::size_t> _missedHeartbeats;
+
     sim::StatGroup _stats;
     PacketNetwork _network;
     sim::Scalar &_bytesLogical;
@@ -160,8 +244,40 @@ class MasterController
     sim::Scalar &_bytesSyndrome;
     sim::Scalar &_bytesCorrections;
     sim::Scalar &_bytesCache;
+    sim::Scalar &_bytesScrub;
+
+    sim::StatGroup _faultStats;
+    sim::Scalar &_seuInjected;
+    sim::Scalar &_seuDetected;
+    sim::Scalar &_seuSilent;
+    sim::Scalar &_scrubs;
+    sim::Scalar &_decoderOverruns;
+    sim::Scalar &_decoderFallbacks;
+    sim::Scalar &_heartbeats;
+    sim::Scalar &_heartbeatsMissed;
+    sim::Scalar &_hangsInjected;
+    sim::Scalar &_quarantines;
+    sim::Scalar &_resumes;
+    sim::Scalar &_busEscalations;
+    sim::Scalar &_packetsAbandoned;
 
     std::size_t decodeWindow() const;
+
+    /**
+     * Send one bus packet, charging `category`, with supervisor
+     * re-issues when the link-level retry budget is exhausted.
+     */
+    void sendOnBus(std::size_t mce_idx, std::size_t bytes,
+                   sim::Scalar &category);
+
+    /** Per-round classical fault arrivals (hangs, SEUs). */
+    void injectRoundFaults();
+
+    /** Collect, decode and correct one tile's residual window. */
+    void decodeTile(std::size_t mce_idx);
+
+    /** Quarantine a wedged tile: re-sync microcode and resume. */
+    void quarantineAndResync(std::size_t mce_idx);
 };
 
 } // namespace quest::core

@@ -1,7 +1,10 @@
 #include "mce.hpp"
 
+#include <algorithm>
+
 #include "qecc/braiding.hpp"
 #include "qecc/schedule.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/logging.hpp"
 
 namespace quest::core {
@@ -14,6 +17,19 @@ using qecc::LogicalQubit;
 using qecc::RoundSchedule;
 using qecc::SubCycle;
 
+namespace {
+
+/** Stored image size of the tile's QECC program under its design. */
+std::size_t
+microcodeImageBits(const MceConfig &cfg, std::size_t qubits)
+{
+    const MicrocodeModel model(qecc::protocolSpec(cfg.protocol),
+                               cfg.technology);
+    return model.capacityBits(cfg.microcodeDesign, qubits);
+}
+
+} // namespace
+
 Mce::Mce(std::string name, const MceConfig &cfg)
     : _name(std::move(name)), _cfg(cfg),
       _lattice(std::make_unique<qecc::Lattice>(
@@ -23,6 +39,7 @@ Mce::Mce(std::string name, const MceConfig &cfg)
       _frame(_lattice->numQubits()),
       _ledger(_lattice->numQubits()),
       _channel(cfg.errorRates, _rng),
+      _microcodeStore(microcodeImageBits(cfg, _lattice->numQubits())),
       _stats(_name),
       _mask(*_lattice, cfg.maskLayout, cfg.distance, _stats),
       _execUnit(_lattice->numQubits(), _stats),
@@ -37,7 +54,10 @@ Mce::Mce(std::string name, const MceConfig &cfg)
           "logical_uops", "logical (transverse) uops issued")),
       _eventsLocal(_stats.scalar(
           "events_local", "detection events resolved by the LUT")),
-      _roundsStat(_stats.scalar("qecc_rounds", "QECC rounds executed"))
+      _roundsStat(_stats.scalar("qecc_rounds", "QECC rounds executed")),
+      _seuUopErrors(_stats.scalar(
+          "seu_uop_errors",
+          "stray errors from SEU-corrupted microcode words"))
 {
     const auto &spec = qecc::protocolSpec(cfg.protocol);
     _baseSchedule = std::make_unique<RoundSchedule>(
@@ -272,9 +292,61 @@ Mce::braidCnot(int control_id, int target_id)
     return plan.steps();
 }
 
+void
+Mce::stretchNoise(double factor, std::size_t rounds)
+{
+    QUEST_ASSERT(factor >= 1.0, "noise stretch below 1 (%g)", factor);
+    _stretchFactor = factor;
+    _stretchRounds = rounds;
+}
+
 const qecc::SyndromeRound &
 Mce::runQeccRound()
 {
+    if (_hung) {
+        // A wedged engine streams nothing: the tile idles
+        // uncorrected and decoheres for the round. No syndrome is
+        // extracted (nothing read the ancillas), so the errors
+        // surface in the first window after recovery.
+        for (std::size_t q = 0; q < _lattice->numQubits(); ++q)
+            _channel.idle(_frame, q);
+        return _lastRound;
+    }
+
+    // Decoder-deadline fallback: a tile whose correction landed
+    // late decoheres for the stretched interval (host::delivery's
+    // stretch model applied at the channel).
+    if (_stretchRounds > 0) {
+        quantum::ErrorRates stretched = _cfg.errorRates;
+        stretched.idle =
+            std::min(1.0, stretched.idle * _stretchFactor);
+        stretched.gate1 =
+            std::min(1.0, stretched.gate1 * _stretchFactor);
+        stretched.gate2 =
+            std::min(1.0, stretched.gate2 * _stretchFactor);
+        stretched.prep =
+            std::min(1.0, stretched.prep * _stretchFactor);
+        stretched.meas =
+            std::min(1.0, stretched.meas * _stretchFactor);
+        _channel.setRates(stretched);
+    }
+
+    // SEU-corrupted microcode: every parity-failed word streams one
+    // wrong uop per replay, landing as a stray X on a random data
+    // qubit until the master's scrub loop rewrites the image.
+    if (_faults != nullptr
+        && _microcodeStore.parityErrorWords() > 0) {
+        const auto data = _lattice->sites(qecc::SiteType::Data);
+        sim::Rng &placement =
+            _faults->rng(sim::FaultSite::MicrocodeSeu);
+        for (std::size_t k = 0;
+             k < _microcodeStore.parityErrorWords(); ++k) {
+            _frame.injectX(_lattice->index(
+                data[placement.uniformInt(data.size())]));
+            ++_seuUopErrors;
+        }
+    }
+
     const RoundSchedule &sched = *_maskedSchedule;
     const std::size_t n = _lattice->numQubits();
 
@@ -299,6 +371,9 @@ Mce::runQeccRound()
     _window.push_back(_lastRound);
     ++_roundsRun;
     ++_roundsStat;
+
+    if (_stretchRounds > 0 && --_stretchRounds == 0)
+        _channel.setRates(_cfg.errorRates);
     return _lastRound;
 }
 

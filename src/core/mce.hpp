@@ -38,6 +38,10 @@
 #include "quantum/error_model.hpp"
 #include "sim/stats.hpp"
 
+namespace quest::sim {
+class FaultInjector;
+}
+
 namespace quest::core {
 
 /** Configuration of one MCE tile. */
@@ -167,6 +171,56 @@ class Mce
     {
         return _eventsLocal.value();
     }
+    double seuUopErrors() const { return _seuUopErrors.value(); }
+    ///@}
+
+    /** @name Classical resilience (fault injection hooks). */
+    ///@{
+
+    /**
+     * Attach the classical fault source. SEU-corrupted microcode
+     * words mis-steer one uop per replay only while an injector is
+     * attached (its placement stream picks the victim qubit).
+     */
+    void attachFaults(sim::FaultInjector *faults)
+    {
+        _faults = faults;
+    }
+
+    /** The parity-protected microcode memory image. */
+    MicrocodeStore &microcodeStore() { return _microcodeStore; }
+    const MicrocodeStore &microcodeStore() const
+    {
+        return _microcodeStore;
+    }
+
+    /**
+     * Inject a control hang: the engine stops streaming microcode
+     * and answering heartbeats; its tile idles uncorrected until
+     * the master's watchdog quarantines and recovers it.
+     */
+    void wedge() { _hung = true; }
+
+    bool hung() const { return _hung; }
+
+    /**
+     * Watchdog recovery: clear the hang and rewrite the microcode
+     * image (the master re-synced it over the bus).
+     */
+    void
+    recover()
+    {
+        _hung = false;
+        _microcodeStore.repair();
+    }
+
+    /**
+     * Inflate this tile's noise by `factor` for the next `rounds`
+     * QECC rounds -- the host::delivery stretch model applied to a
+     * tile whose global correction arrived after the decode
+     * deadline.
+     */
+    void stretchNoise(double factor, std::size_t rounds);
     ///@}
 
   private:
@@ -182,6 +236,11 @@ class Mce
     quantum::PauliFrame _frame;
     quantum::PauliFrame _ledger; ///< decoded-but-unexecuted corrections
     quantum::ErrorChannel _channel;
+    MicrocodeStore _microcodeStore;
+    sim::FaultInjector *_faults = nullptr;
+    bool _hung = false;
+    double _stretchFactor = 1.0;
+    std::size_t _stretchRounds = 0;
 
     sim::StatGroup _stats;
     MaskTable _mask;
@@ -203,6 +262,7 @@ class Mce
     sim::Scalar &_logicalUops;
     sim::Scalar &_eventsLocal;
     sim::Scalar &_roundsStat;
+    sim::Scalar &_seuUopErrors;
 
     /** Rebuild the mask-filtered schedule after mask changes. */
     void rebuildMaskedSchedule();

@@ -1,5 +1,6 @@
 #include "microcode.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "sim/logging.hpp"
@@ -131,6 +132,52 @@ MicrocodeModel::optimalConfig(std::size_t total_bits,
                  "no memory configuration can hold the %s program",
                  _spec->name.c_str());
     return *best;
+}
+
+MicrocodeStore::MicrocodeStore(std::size_t bits,
+                               std::size_t word_bits)
+    : _bits(bits), _wordBits(word_bits),
+      _flipsPerWord(word_bits ? (bits + word_bits - 1) / word_bits
+                              : 0,
+                    0)
+{
+    QUEST_ASSERT(bits == 0 || word_bits > 0,
+                 "microcode store needs a nonzero word size");
+}
+
+std::size_t
+MicrocodeStore::flipRandomBit(sim::Rng &rng)
+{
+    QUEST_ASSERT(_bits > 0, "SEU in an empty microcode store");
+    const std::size_t bit = rng.uniformInt(_bits);
+    const std::size_t word = bit / _wordBits;
+    // Parity sees the word's flip count modulo two.
+    if (_flipsPerWord[word] % 2 == 0)
+        ++_oddWords;
+    else
+        --_oddWords;
+    ++_flipsPerWord[word];
+    ++_flipped;
+    return word;
+}
+
+std::size_t
+MicrocodeStore::silentBits() const
+{
+    std::size_t silent = 0;
+    for (std::uint8_t flips : _flipsPerWord)
+        if (flips > 0 && flips % 2 == 0)
+            silent += flips;
+    return silent;
+}
+
+std::size_t
+MicrocodeStore::repair()
+{
+    std::fill(_flipsPerWord.begin(), _flipsPerWord.end(), 0);
+    _flipped = 0;
+    _oddWords = 0;
+    return imageBytes();
 }
 
 } // namespace quest::core

@@ -1,33 +1,86 @@
 #include "network.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sim/fault_injector.hpp"
 #include "sim/logging.hpp"
 
 namespace quest::core {
 
+namespace {
+
+std::size_t
+treeDepth(const NetworkConfig &cfg)
+{
+    QUEST_ASSERT(cfg.mceCount > 0, "network needs at least one MCE");
+    // A single-MCE system is a point-to-point wire; only multi-leaf
+    // trees need a branching radix.
+    QUEST_ASSERT(cfg.radix >= 2 || cfg.mceCount == 1,
+                 "tree radix must be at least 2 for %zu MCEs",
+                 cfg.mceCount);
+    QUEST_ASSERT(cfg.linkBytesPerTick > 0, "links need bandwidth");
+
+    // Depth of the radix-k tree covering all leaves.
+    std::size_t depth = 1;
+    std::size_t reach = std::max<std::size_t>(cfg.radix, 2);
+    while (reach < cfg.mceCount) {
+        reach *= cfg.radix;
+        ++depth;
+    }
+    return depth;
+}
+
+/**
+ * Upper bound of the latency histogram: the worst-case retransmit
+ * path (a generously sized packet retried to the full budget with
+ * every backoff step) rather than a fixed 1e6 ps that long retry
+ * chains would silently saturate.
+ */
+double
+latencyHistMax(const NetworkConfig &cfg, std::size_t depth)
+{
+    constexpr double worst_packet_bytes = 4096.0;
+    const double hops = double(depth + 1);
+    const double attempt = 2.0 * hops * double(cfg.hopLatency)
+        + (worst_packet_bytes + double(cfg.crcBytes)
+           + double(cfg.ackBytes))
+            / cfg.linkBytesPerTick;
+    double backoff = 0.0;
+    for (std::size_t k = 0; k < cfg.retryLimit; ++k)
+        backoff += double(cfg.retryBackoff << k);
+    const double worst =
+        double(cfg.retryLimit + 1) * attempt + backoff;
+    return std::max(1e6, worst);
+}
+
+} // namespace
+
 PacketNetwork::PacketNetwork(const NetworkConfig &cfg,
                              sim::StatGroup &parent)
     : _cfg(cfg),
+      _depth(treeDepth(cfg)),
       _stats("network"),
       _bytes(_stats.scalar("bytes", "bytes carried by the network")),
       _packets(_stats.scalar("packets", "packets delivered")),
       _latencyTotal(_stats.scalar("latency_ticks",
                                   "sum of packet latencies")),
+      _retransmits(_stats.scalar("retransmits",
+                                 "link-level retransmissions")),
+      _lost(_stats.scalar("packets_lost",
+                          "packets dropped in flight")),
+      _corrupted(_stats.scalar("packets_corrupted",
+                               "packets rejected by CRC")),
+      _failures(_stats.scalar(
+          "delivery_failures",
+          "packets abandoned after the retry budget")),
+      _overheadBytes(_stats.scalar(
+          "protocol_overhead_bytes",
+          "CRC trailers and ACK/NACK tokens (bytes)")),
       _latencyHist(_stats.histogram("latency", "packet latency (ps)",
-                                    0, 1e6, 32))
+                                    0, latencyHistMax(cfg, _depth),
+                                    32))
 {
-    QUEST_ASSERT(cfg.mceCount > 0, "network needs at least one MCE");
-    QUEST_ASSERT(cfg.radix >= 2, "tree radix must be at least 2");
-    QUEST_ASSERT(cfg.linkBytesPerTick > 0, "links need bandwidth");
-
-    // Depth of the radix-k tree covering all leaves.
-    _depth = 1;
-    std::size_t reach = cfg.radix;
-    while (reach < cfg.mceCount) {
-        reach *= cfg.radix;
-        ++_depth;
-    }
     parent.addChild(_stats);
 }
 
@@ -48,12 +101,63 @@ PacketNetwork::send(std::size_t mce_index, std::size_t bytes)
     PacketTiming timing;
     timing.hops = hopsToMce(mce_index);
 
-    const auto serialization = sim::Tick(
-        std::ceil(double(bytes) / _cfg.linkBytesPerTick));
-    timing.latency =
-        sim::Tick(timing.hops) * _cfg.hopLatency + serialization;
+    const auto serialization = [this](std::size_t b) {
+        return sim::Tick(
+            std::ceil(double(b) / _cfg.linkBytesPerTick));
+    };
+    const sim::Tick hop_time =
+        sim::Tick(timing.hops) * _cfg.hopLatency;
 
-    _bytes += double(bytes);
+    if (_faults == nullptr || !_faults->enabled()) {
+        // Fault-free fast path: no CRC, no ACK, accounting identical
+        // to the perfect-network model.
+        timing.latency = hop_time + serialization(bytes);
+        _bytes += double(bytes);
+        ++_packets;
+        _latencyTotal += double(timing.latency);
+        _latencyHist.sample(double(timing.latency));
+        return timing;
+    }
+
+    // CRC-protected packet with ACK/NACK and a bounded retry budget.
+    const std::size_t wire_bytes = bytes + _cfg.crcBytes;
+    timing.delivered = false;
+    for (std::size_t attempt = 0; attempt <= _cfg.retryLimit;
+         ++attempt) {
+        timing.attempts = attempt + 1;
+        if (attempt > 0) {
+            ++_retransmits;
+            // Exponential backoff before each retransmission.
+            timing.latency += _cfg.retryBackoff << (attempt - 1);
+        }
+        _bytes += double(wire_bytes);
+        _overheadBytes += double(_cfg.crcBytes);
+        timing.latency += hop_time + serialization(wire_bytes);
+
+        if (_faults->fire(sim::FaultSite::NetworkLoss)) {
+            // Dropped in flight: the sender times out waiting for
+            // the ACK (one return trip) before retrying.
+            ++_lost;
+            timing.latency += hop_time;
+            continue;
+        }
+        const bool corrupt =
+            _faults->fire(sim::FaultSite::NetworkCorruption);
+        // The receiver answers either way: ACK on a clean CRC, NACK
+        // when the trailer flags corruption.
+        _bytes += double(_cfg.ackBytes);
+        _overheadBytes += double(_cfg.ackBytes);
+        timing.latency += hop_time + serialization(_cfg.ackBytes);
+        if (corrupt) {
+            ++_corrupted;
+            continue;
+        }
+        timing.delivered = true;
+        break;
+    }
+    if (!timing.delivered)
+        ++_failures;
+
     ++_packets;
     _latencyTotal += double(timing.latency);
     _latencyHist.sample(double(timing.latency));

@@ -14,6 +14,16 @@
  * traffic here, the interesting output is how *little* of the
  * network this uses; the same model pointed at the baseline's
  * physical-rate stream shows the wiring that QuEST avoids.
+ *
+ * Resilience: when a sim::FaultInjector with nonzero rates is
+ * attached, every packet carries a CRC trailer and is acknowledged;
+ * a lost packet times out and a corrupted one is NACKed, and the
+ * sender retransmits with exponential backoff up to a bounded retry
+ * budget. All retransmit bytes and latency are charged to the same
+ * stats as first-try traffic, so the bandwidth figures stay honest
+ * under faults. A fault-free network (no injector, or all-zero
+ * rates) takes the original zero-overhead path and its accounting
+ * is bit-identical to the seed model.
  */
 
 #ifndef QUEST_CORE_NETWORK_HPP
@@ -25,6 +35,10 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace quest::sim {
+class FaultInjector;
+}
+
 namespace quest::core {
 
 /** Interconnect configuration. */
@@ -34,6 +48,15 @@ struct NetworkConfig
     std::size_t radix = 4;          ///< tree fan-out per router
     sim::Tick hopLatency = sim::nanoseconds(5);
     double linkBytesPerTick = 0.004; ///< 4 GB/s links (bytes per ps)
+
+    /** @name Link-level CRC + ACK/NACK retransmit protocol.
+     *  Engaged only when an enabled FaultInjector is attached. */
+    ///@{
+    std::size_t crcBytes = 2;   ///< CRC trailer per packet
+    std::size_t ackBytes = 2;   ///< ACK/NACK return token
+    std::size_t retryLimit = 4; ///< retransmissions before giving up
+    sim::Tick retryBackoff = sim::nanoseconds(10); ///< doubles per retry
+    ///@}
 };
 
 /** One delivered packet's timing. */
@@ -41,6 +64,8 @@ struct PacketTiming
 {
     std::size_t hops = 0;
     sim::Tick latency = 0;
+    std::size_t attempts = 1;  ///< transmissions including retries
+    bool delivered = true;     ///< false when the retry budget ran out
 };
 
 /** Analytical packet-switched tree network. */
@@ -51,6 +76,13 @@ class PacketNetwork
 
     const NetworkConfig &config() const { return _cfg; }
 
+    /**
+     * Attach the classical fault source. Packet loss and corruption
+     * (and the CRC/ACK protocol that recovers from them) are active
+     * only while the injector has a nonzero rate somewhere.
+     */
+    void attachFaults(sim::FaultInjector *faults) { _faults = faults; }
+
     /** Tree depth from the master to any MCE leaf. */
     std::size_t depth() const { return _depth; }
 
@@ -59,13 +91,23 @@ class PacketNetwork
 
     /**
      * Account one packet from the master to an MCE (or back).
-     * @return hop count and end-to-end latency.
+     * @return hop count, end-to-end latency (including retries) and
+     *         whether the retry budget sufficed to deliver it.
      */
     PacketTiming send(std::size_t mce_index, std::size_t bytes);
 
-    /** Total bytes accepted by the network. */
+    /** Total bytes accepted by the network (incl. ARQ overhead). */
     double bytesCarried() const { return _bytes.value(); }
     double packetsCarried() const { return _packets.value(); }
+
+    /** @name CRC/retry protocol accounting. */
+    ///@{
+    double retransmits() const { return _retransmits.value(); }
+    double lostPackets() const { return _lost.value(); }
+    double corruptedPackets() const { return _corrupted.value(); }
+    double deliveryFailures() const { return _failures.value(); }
+    double protocolOverheadBytes() const { return _overheadBytes.value(); }
+    ///@}
 
     /** Mean packet latency in ticks. */
     double meanLatencyTicks() const;
@@ -88,11 +130,17 @@ class PacketNetwork
   private:
     NetworkConfig _cfg;
     std::size_t _depth;
+    sim::FaultInjector *_faults = nullptr;
 
     sim::StatGroup _stats;
     sim::Scalar &_bytes;
     sim::Scalar &_packets;
     sim::Scalar &_latencyTotal;
+    sim::Scalar &_retransmits;
+    sim::Scalar &_lost;
+    sim::Scalar &_corrupted;
+    sim::Scalar &_failures;
+    sim::Scalar &_overheadBytes;
     sim::Histogram &_latencyHist;
 };
 

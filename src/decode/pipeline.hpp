@@ -12,11 +12,74 @@
 #ifndef QUEST_DECODE_PIPELINE_HPP
 #define QUEST_DECODE_PIPELINE_HPP
 
+#include <algorithm>
+
 #include "lut_decoder.hpp"
 #include "mwpm_decoder.hpp"
 #include "sim/stats.hpp"
+#include "sim/types.hpp"
 
 namespace quest::decode {
+
+/**
+ * Real-time deadline model for the global decode (Section 3.4: the
+ * correction must land before the errors compound). The greedy MWPM
+ * matcher is O(E^2) in the residual event count, so its decode time
+ * is modelled as base + perEventSq * E^2 against the decode-window
+ * budget; the union-find cluster decoder is the nearly-linear
+ * fallback the master degrades to when MWPM would overrun.
+ */
+struct DeadlineConfig
+{
+    /** Decode budget in ticks (the decode window); 0 disables. */
+    sim::Tick windowTicks = 0;
+    sim::Tick mwpmBaseTicks = sim::nanoseconds(50);
+    sim::Tick mwpmTicksPerEventSq = sim::nanoseconds(20);
+};
+
+/** Deadline arithmetic shared by the master and the benches. */
+class DecodeDeadline
+{
+  public:
+    DecodeDeadline() = default;
+    explicit DecodeDeadline(const DeadlineConfig &cfg) : _cfg(cfg) {}
+
+    const DeadlineConfig &config() const { return _cfg; }
+
+    /** Modelled MWPM decode time for a residual batch. */
+    sim::Tick
+    mwpmTicks(std::size_t events) const
+    {
+        return _cfg.mwpmBaseTicks
+            + _cfg.mwpmTicksPerEventSq
+            * sim::Tick(events) * sim::Tick(events);
+    }
+
+    /** Would an MWPM decode of this batch miss the window? */
+    bool
+    overruns(std::size_t events) const
+    {
+        return _cfg.windowTicks != 0
+            && mwpmTicks(events) > _cfg.windowTicks;
+    }
+
+    /**
+     * Lateness as a round-stretch factor (>= 1): the same measure
+     * host::DeliveryPath uses to inflate the effective error rate
+     * of a tile whose correction arrived late.
+     */
+    double
+    stretch(std::size_t events) const
+    {
+        if (_cfg.windowTicks == 0)
+            return 1.0;
+        return std::max(1.0, double(mwpmTicks(events))
+                                 / double(_cfg.windowTicks));
+    }
+
+  private:
+    DeadlineConfig _cfg;
+};
 
 /** Combined local + global decode with bus accounting. */
 class DecoderPipeline

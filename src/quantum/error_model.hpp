@@ -51,6 +51,12 @@ class ErrorChannel
 
     const ErrorRates &rates() const { return _rates; }
 
+    /**
+     * Swap the configured rates (e.g. the decoder-deadline fallback
+     * temporarily stretching the noise of a late-corrected tile).
+     */
+    void setRates(const ErrorRates &rates) { _rates = rates; }
+
     /** Uniform non-identity Pauli with probability p. */
     void depolarize1(PauliFrame &frame, std::size_t q, double p);
 

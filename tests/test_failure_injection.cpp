@@ -158,6 +158,233 @@ TEST(TraceFile, CorruptMagicIsRejected)
     quest::sim::setQuiet(false);
 }
 
+// --- Classical control-plane faults --------------------------------
+
+core::MasterConfig
+faultyMaster(std::size_t mces = 2)
+{
+    core::MasterConfig cfg;
+    cfg.numMces = mces;
+    cfg.mce = core::tileConfigForLogicalQubits(3);
+    cfg.mce.errorRates = quantum::ErrorRates{1e-3, 0, 0, 0, 1e-3};
+    return cfg;
+}
+
+TEST(ClassicalFaults, NetworkLossAndCorruptionRecoverEndToEnd)
+{
+    core::MasterConfig cfg = faultyMaster();
+    cfg.faults.rate(sim::FaultSite::NetworkLoss) = 0.05;
+    cfg.faults.rate(sim::FaultSite::NetworkCorruption) = 0.05;
+    core::MasterController master(cfg);
+
+    master.broadcastSync();
+    EXPECT_NO_THROW(master.runRounds(64));
+    EXPECT_EQ(master.roundsRun(), 64u);
+    // Losses happened and the ARQ recovered them all: at 5%/5% the
+    // 4-retry budget never runs dry in 64 rounds of traffic.
+    EXPECT_GT(master.network().retransmits(), 0.0);
+    EXPECT_DOUBLE_EQ(master.network().deliveryFailures(), 0.0);
+    EXPECT_GT(master.network().protocolOverheadBytes(), 0.0);
+}
+
+TEST(ClassicalFaults, TotalLossEscalatesAndAbandonsButNeverWedges)
+{
+    quest::sim::setQuiet(true);
+    core::MasterConfig cfg = faultyMaster(1);
+    cfg.faults.rate(sim::FaultSite::NetworkLoss) = 1.0;
+    core::MasterController master(cfg);
+    EXPECT_NO_THROW(master.runRounds(8));
+    master.broadcastSync();
+    EXPECT_GT(master.busEscalations(), 0.0);
+    EXPECT_GT(master.packetsAbandoned(), 0.0);
+    quest::sim::setQuiet(false);
+}
+
+TEST(ClassicalFaults, SeuScrubRoundTrip)
+{
+    core::MasterConfig cfg = faultyMaster();
+    cfg.faults.rate(sim::FaultSite::MicrocodeSeu) = 0.2;
+    cfg.scrubIntervalRounds = 16;
+    core::MasterController master(cfg);
+
+    EXPECT_NO_THROW(master.runRounds(128));
+    EXPECT_GT(master.seuInjected(), 0.0);
+    EXPECT_GT(master.seuDetected(), 0.0);
+    EXPECT_GT(master.scrubCount(), 0.0);
+    EXPECT_GT(master.busBytesScrub(), 0.0);
+
+    // A final scrub leaves no detectable corruption anywhere.
+    master.scrubNow();
+    for (std::size_t i = 0; i < master.numMces(); ++i)
+        EXPECT_EQ(master.mce(i).microcodeStore().parityErrorWords(),
+                  0u);
+}
+
+TEST(ClassicalFaults, SeuCorruptedReplayPerturbsTheFrameUntilScrub)
+{
+    // A parity-bad word mis-steers one uop per replay round, which
+    // the QECC machinery must then detect and correct like any other
+    // physical error.
+    core::MasterConfig cfg = faultyMaster(1);
+    cfg.faults.rate(sim::FaultSite::MicrocodeSeu) = 1.0;
+    cfg.scrubIntervalRounds = 8;
+    core::MasterController master(cfg);
+    EXPECT_NO_THROW(master.runRounds(64));
+    EXPECT_GT(master.mce(0).seuUopErrors(), 0.0);
+    // One SEU per round floods the d=3 tile with stray uops far
+    // beyond the correction guarantee; the residual may carry some
+    // mis-decodes but must stay far below the injected error count
+    // (each window was cleared, not accumulated).
+    EXPECT_LT(double(master.mce(0).residualErrorWeight()),
+              master.mce(0).seuUopErrors() / 2.0);
+    EXPECT_LE(master.mce(0).residualErrorWeight(), 64u);
+}
+
+TEST(ClassicalFaults, DecoderDeadlineFallsBackToClusterDecoder)
+{
+    core::MasterConfig cfg = faultyMaster();
+    cfg.modelDecodeDeadline = true;
+    cfg.faults.rate(sim::FaultSite::DecoderOverrun) = 1.0;
+    core::MasterController master(cfg);
+
+    EXPECT_NO_THROW(master.runRounds(64));
+    EXPECT_GT(master.decoderFallbacks(), 0.0);
+    EXPECT_EQ(master.decoderOverruns(), master.decoderFallbacks());
+    // The union-find fallback still keeps the tiles decoded.
+    for (std::size_t i = 0; i < master.numMces(); ++i)
+        EXPECT_LE(master.mce(i).residualErrorWeight(), 12u);
+}
+
+TEST(ClassicalFaults, WatchdogQuarantinesAndResumesWedgedMce)
+{
+    core::MasterConfig cfg = faultyMaster();
+    cfg.heartbeatIntervalRounds = 4;
+    cfg.watchdogMissThreshold = 2;
+    core::MasterController master(cfg);
+
+    master.mce(1).wedge();
+    EXPECT_TRUE(master.mce(1).hung());
+
+    EXPECT_NO_THROW(master.runRounds(16));
+
+    // Two missed heartbeats (rounds 4 and 8) trip the watchdog; the
+    // tile is re-synced and resumes correcting.
+    EXPECT_GE(master.heartbeatsMissed(), 2.0);
+    EXPECT_GE(master.quarantineCount(), 1.0);
+    EXPECT_EQ(master.resumeCount(), master.quarantineCount());
+    EXPECT_FALSE(master.mce(1).hung());
+    EXPECT_FALSE(master.mce(1).microcodeStore().corrupted());
+    // The wedged tile idled through the first 8 rounds: it ran fewer
+    // rounds than its healthy peer.
+    EXPECT_LT(master.mce(1).roundsRun(), master.mce(0).roundsRun());
+    // ...and the re-sync moved a full microcode image over the bus.
+    EXPECT_GE(master.busBytesScrub(),
+              double(master.mce(1).microcodeStore().imageBytes()));
+}
+
+TEST(ClassicalFaults, InjectedHangsAreCaughtByTheWatchdog)
+{
+    quest::sim::setQuiet(true);
+    core::MasterConfig cfg = faultyMaster();
+    cfg.faults.rate(sim::FaultSite::MceHang) = 0.02;
+    cfg.heartbeatIntervalRounds = 4;
+    cfg.scrubIntervalRounds = 32;
+    core::MasterController master(cfg);
+
+    EXPECT_NO_THROW(master.runRounds(256));
+    EXPECT_GT(master.hangsInjected(), 0.0);
+    EXPECT_EQ(master.resumeCount(), master.quarantineCount());
+    EXPECT_GT(master.quarantineCount(), 0.0);
+    // Everything recovered: no MCE is left hanging at the end of a
+    // long run (each quarantine clears within a few heartbeats).
+    master.heartbeatNow();
+    master.heartbeatNow();
+    for (std::size_t i = 0; i < master.numMces(); ++i)
+        EXPECT_FALSE(master.mce(i).hung());
+    quest::sim::setQuiet(false);
+}
+
+TEST(ClassicalFaults, FullFaultSoupCompletesWithAllCountersLive)
+{
+    // The acceptance scenario: network loss, SEUs, decoder overruns
+    // and MCE hangs all at once, with every resilience mechanism on.
+    quest::sim::setQuiet(true);
+    core::MasterConfig cfg = faultyMaster();
+    cfg.faults = sim::FaultConfig::uniform(0.0);
+    cfg.faults.rate(sim::FaultSite::NetworkLoss) = 0.02;
+    cfg.faults.rate(sim::FaultSite::NetworkCorruption) = 0.02;
+    cfg.faults.rate(sim::FaultSite::MicrocodeSeu) = 0.05;
+    cfg.faults.rate(sim::FaultSite::DecoderOverrun) = 0.3;
+    cfg.faults.rate(sim::FaultSite::MceHang) = 0.01;
+    cfg.scrubIntervalRounds = 16;
+    cfg.heartbeatIntervalRounds = 8;
+    cfg.modelDecodeDeadline = true;
+    core::MasterController master(cfg);
+
+    EXPECT_NO_THROW(master.runRounds(256));
+    EXPECT_EQ(master.roundsRun(), 256u);
+    EXPECT_GT(master.network().retransmits(), 0.0);
+    EXPECT_GT(master.seuInjected(), 0.0);
+    EXPECT_GT(master.decoderFallbacks(), 0.0);
+    EXPECT_GT(master.hangsInjected(), 0.0);
+    EXPECT_GT(master.heartbeatsSent(), 0.0);
+    quest::sim::setQuiet(false);
+}
+
+TEST(ClassicalFaults, FaultyRunReplaysBitForBitUnderFixedSeed)
+{
+    quest::sim::setQuiet(true);
+    core::MasterConfig cfg = faultyMaster();
+    cfg.faults = sim::FaultConfig::uniform(0.03, /*seed=*/4242);
+    cfg.scrubIntervalRounds = 16;
+    cfg.heartbeatIntervalRounds = 8;
+    cfg.modelDecodeDeadline = true;
+
+    core::MasterController a(cfg), b(cfg);
+    a.runRounds(128);
+    b.runRounds(128);
+
+    EXPECT_DOUBLE_EQ(a.totalBusBytes(), b.totalBusBytes());
+    EXPECT_DOUBLE_EQ(a.network().bytesCarried(),
+                     b.network().bytesCarried());
+    EXPECT_DOUBLE_EQ(a.network().retransmits(),
+                     b.network().retransmits());
+    EXPECT_DOUBLE_EQ(a.seuInjected(), b.seuInjected());
+    EXPECT_DOUBLE_EQ(a.scrubCount(), b.scrubCount());
+    EXPECT_DOUBLE_EQ(a.decoderFallbacks(), b.decoderFallbacks());
+    EXPECT_DOUBLE_EQ(a.quarantineCount(), b.quarantineCount());
+    for (std::size_t i = 0; i < a.numMces(); ++i)
+        EXPECT_EQ(a.mce(i).residualErrorWeight(),
+                  b.mce(i).residualErrorWeight());
+    quest::sim::setQuiet(false);
+}
+
+TEST(ClassicalFaults, ZeroRatesAreBitIdenticalToSeedModel)
+{
+    // Pay-for-what-you-use: an all-zero FaultConfig plus enabled
+    // scrub/heartbeat intervals left at zero must reproduce the
+    // fault-free run exactly, byte for byte.
+    core::MasterConfig plain = faultyMaster();
+    core::MasterConfig zeroed = faultyMaster();
+    zeroed.faults = sim::FaultConfig::none();
+
+    core::MasterController a(plain), b(zeroed);
+    a.broadcastSync();
+    b.broadcastSync();
+    a.runRounds(64);
+    b.runRounds(64);
+
+    EXPECT_DOUBLE_EQ(a.totalBusBytes(), b.totalBusBytes());
+    EXPECT_DOUBLE_EQ(a.network().bytesCarried(),
+                     b.network().bytesCarried());
+    EXPECT_DOUBLE_EQ(b.network().protocolOverheadBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(b.busBytesScrub(), 0.0);
+    EXPECT_DOUBLE_EQ(b.heartbeatsSent(), 0.0);
+    for (std::size_t i = 0; i < a.numMces(); ++i)
+        EXPECT_EQ(a.mce(i).residualErrorWeight(),
+                  b.mce(i).residualErrorWeight());
+}
+
 TEST(FailureInjection, ClusterDecoderSurvivesDenseEvents)
 {
     // Dense event soup (every other check fires): cluster growth

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the classical fault layer's building blocks: the
+ * seeded FaultInjector, the CRC/ACK retransmit path of the packet
+ * network, the parity-protected MicrocodeStore and the global
+ * decoder's deadline arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/microcode.hpp"
+#include "core/network.hpp"
+#include "decode/pipeline.hpp"
+#include "sim/fault_injector.hpp"
+#include "tech/jj_memory.hpp"
+
+namespace {
+
+using namespace quest;
+using sim::FaultConfig;
+using sim::FaultInjector;
+using sim::FaultSite;
+
+TEST(FaultInjector, ZeroRateNeverFiresAndNeverDraws)
+{
+    FaultInjector inj(FaultConfig::none());
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 1000; ++i)
+        for (FaultSite s : sim::allFaultSites)
+            EXPECT_FALSE(inj.fire(s));
+    // Zero-rate sites skip the Bernoulli draw entirely, so the
+    // placement streams are untouched and trials stay at zero.
+    for (FaultSite s : sim::allFaultSites)
+        EXPECT_EQ(inj.trialCount(s), 0u);
+}
+
+TEST(FaultInjector, RateOneAlwaysFires)
+{
+    FaultInjector inj(FaultConfig::uniform(1.0));
+    EXPECT_TRUE(inj.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(inj.fire(FaultSite::NetworkLoss));
+    EXPECT_EQ(inj.trialCount(FaultSite::NetworkLoss), 100u);
+    EXPECT_EQ(inj.firedCount(FaultSite::NetworkLoss), 100u);
+}
+
+TEST(FaultInjector, DeterministicReplayUnderFixedSeed)
+{
+    FaultConfig cfg = FaultConfig::uniform(0.3, /*seed=*/1234);
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 4096; ++i)
+        for (FaultSite s : sim::allFaultSites)
+            EXPECT_EQ(a.fire(s), b.fire(s));
+    for (FaultSite s : sim::allFaultSites)
+        EXPECT_EQ(a.firedCount(s), b.firedCount(s));
+}
+
+TEST(FaultInjector, SitesHaveIndependentStreams)
+{
+    // Draining one site's stream must not change another site's
+    // sequence -- each site owns its own xoshiro state.
+    FaultConfig cfg = FaultConfig::uniform(0.25, /*seed=*/77);
+    FaultInjector undisturbed(cfg), disturbed(cfg);
+
+    std::vector<bool> expect;
+    for (int i = 0; i < 512; ++i)
+        expect.push_back(undisturbed.fire(FaultSite::MceHang));
+
+    for (int i = 0; i < 999; ++i)
+        disturbed.fire(FaultSite::NetworkLoss); // interleaved noise
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(disturbed.fire(FaultSite::MceHang), expect[i]);
+}
+
+TEST(FaultInjector, ObservedRateTracksConfiguredRate)
+{
+    FaultInjector inj(FaultConfig::uniform(0.1, /*seed=*/5));
+    const int trials = 20000;
+    int hits = 0;
+    for (int i = 0; i < trials; ++i)
+        hits += inj.fire(FaultSite::MicrocodeSeu) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / trials, 0.1, 0.01);
+}
+
+TEST(FaultInjector, ReconfigureResetsStreamsAndCounters)
+{
+    FaultInjector inj(FaultConfig::uniform(0.5, /*seed=*/42));
+    std::vector<bool> first;
+    for (int i = 0; i < 64; ++i)
+        first.push_back(inj.fire(FaultSite::DecoderOverrun));
+
+    inj.configure(FaultConfig::uniform(0.5, /*seed=*/42));
+    EXPECT_EQ(inj.trialCount(FaultSite::DecoderOverrun), 0u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(inj.fire(FaultSite::DecoderOverrun), first[i]);
+}
+
+// --- PacketNetwork ARQ ---------------------------------------------
+
+core::NetworkConfig
+netConfig(std::size_t mces = 4)
+{
+    core::NetworkConfig cfg;
+    cfg.mceCount = mces;
+    return cfg;
+}
+
+TEST(NetworkArq, FaultFreeNetworkMatchesNoInjector)
+{
+    // An attached injector with all-zero rates must leave the
+    // accounting bit-identical to a network with no injector at all.
+    sim::StatGroup sa("a"), sb("b");
+    core::PacketNetwork plain(netConfig(), sa);
+    core::PacketNetwork guarded(netConfig(), sb);
+    FaultInjector idle(FaultConfig::none());
+    guarded.attachFaults(&idle);
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        const auto tp = plain.send(i, 16);
+        const auto tg = guarded.send(i, 16);
+        EXPECT_EQ(tp.latency, tg.latency);
+        EXPECT_EQ(tp.hops, tg.hops);
+        EXPECT_EQ(tg.attempts, 1u);
+        EXPECT_TRUE(tg.delivered);
+    }
+    EXPECT_DOUBLE_EQ(plain.bytesCarried(), guarded.bytesCarried());
+    EXPECT_DOUBLE_EQ(guarded.protocolOverheadBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(guarded.retransmits(), 0.0);
+}
+
+TEST(NetworkArq, LossIsRecoveredByRetransmission)
+{
+    sim::StatGroup stats("net");
+    core::PacketNetwork net(netConfig(), stats);
+    FaultConfig cfg;
+    cfg.rate(FaultSite::NetworkLoss) = 0.4;
+    cfg.seed = 99;
+    FaultInjector inj(cfg);
+    net.attachFaults(&inj);
+
+    std::size_t delivered = 0;
+    for (int i = 0; i < 500; ++i)
+        delivered += net.send(std::size_t(i) % 4, 8).delivered ? 1 : 0;
+    // At 40% loss with a 4-retry budget, P(all 5 attempts lost) is
+    // ~1%: nearly everything still gets through.
+    EXPECT_GT(delivered, 480u);
+    EXPECT_GT(net.lostPackets(), 0.0);
+    EXPECT_GT(net.retransmits(), 0.0);
+    // With no corruption, every lost attempt triggers a retransmit
+    // except the final attempt of a budget-exhausted packet.
+    EXPECT_DOUBLE_EQ(net.retransmits(),
+                     net.lostPackets() - net.deliveryFailures());
+    // Every attempt pays the CRC trailer; every surviving attempt
+    // pays the ACK/NACK token.
+    EXPECT_GT(net.protocolOverheadBytes(), 0.0);
+}
+
+TEST(NetworkArq, CorruptionIsRecoveredByRetransmission)
+{
+    sim::StatGroup stats("net");
+    core::PacketNetwork net(netConfig(), stats);
+    FaultConfig cfg;
+    cfg.rate(FaultSite::NetworkCorruption) = 0.3;
+    FaultInjector inj(cfg);
+    net.attachFaults(&inj);
+
+    for (int i = 0; i < 300; ++i)
+        EXPECT_TRUE(net.send(std::size_t(i) % 4, 8).delivered);
+    EXPECT_GT(net.corruptedPackets(), 0.0);
+    EXPECT_DOUBLE_EQ(net.lostPackets(), 0.0);
+    EXPECT_GE(net.retransmits(), net.corruptedPackets());
+}
+
+TEST(NetworkArq, RetryBudgetExhaustionIsReportedNotFatal)
+{
+    sim::StatGroup stats("net");
+    core::PacketNetwork net(netConfig(), stats);
+    FaultConfig cfg;
+    cfg.rate(FaultSite::NetworkLoss) = 1.0; // nothing ever arrives
+    FaultInjector inj(cfg);
+    net.attachFaults(&inj);
+
+    const auto t = net.send(0, 8);
+    EXPECT_FALSE(t.delivered);
+    EXPECT_EQ(t.attempts, net.config().retryLimit + 1);
+    EXPECT_DOUBLE_EQ(net.deliveryFailures(), 1.0);
+}
+
+TEST(NetworkArq, BackoffGrowsLatencyWithAttempts)
+{
+    sim::StatGroup stats("net");
+    core::PacketNetwork net(netConfig(), stats);
+    FaultConfig cfg;
+    cfg.rate(FaultSite::NetworkLoss) = 1.0;
+    FaultInjector inj(cfg);
+    net.attachFaults(&inj);
+
+    const auto worst = net.send(0, 8);
+    sim::StatGroup stats2("net2");
+    core::PacketNetwork clean(netConfig(), stats2);
+    const auto best = clean.send(0, 8);
+    // Full retry ladder (timeouts + exponential backoff) costs far
+    // more than one clean traversal.
+    EXPECT_GT(worst.latency, best.latency * worst.attempts);
+}
+
+TEST(NetworkArq, SingleMceDegenerateTreeConstructs)
+{
+    // Satellite fix: radix constraint must accept any radix when
+    // there is only one MCE (depth-1 chain, no fan-out needed).
+    sim::StatGroup stats("net");
+    core::NetworkConfig cfg;
+    cfg.mceCount = 1;
+    cfg.radix = 1;
+    core::PacketNetwork net(cfg, stats);
+    EXPECT_TRUE(net.send(0, 4).delivered);
+    EXPECT_GE(net.depth(), 1u);
+}
+
+// --- MicrocodeStore parity model -----------------------------------
+
+TEST(MicrocodeStore, SingleFlipIsParityDetectable)
+{
+    core::MicrocodeStore store(/*bits=*/4096);
+    EXPECT_FALSE(store.corrupted());
+    sim::Rng rng(3);
+    store.flipRandomBit(rng);
+    EXPECT_TRUE(store.corrupted());
+    EXPECT_EQ(store.flippedBits(), 1u);
+    EXPECT_EQ(store.parityErrorWords(), 1u);
+    EXPECT_EQ(store.silentBits(), 0u);
+}
+
+TEST(MicrocodeStore, DoubleFlipInOneWordIsSilent)
+{
+    // Force two flips into the same word by using a one-word store.
+    core::MicrocodeStore store(/*bits=*/32);
+    sim::Rng rng(3);
+    store.flipRandomBit(rng);
+    store.flipRandomBit(rng);
+    EXPECT_EQ(store.flippedBits(), 2u);
+    EXPECT_EQ(store.parityErrorWords(), 0u); // even parity: hidden
+    EXPECT_EQ(store.silentBits(), 2u);
+    EXPECT_TRUE(store.corrupted());
+}
+
+TEST(MicrocodeStore, RepairClearsDetectedAndSilentCorruption)
+{
+    core::MicrocodeStore store(/*bits=*/1024);
+    sim::Rng rng(11);
+    for (int i = 0; i < 7; ++i)
+        store.flipRandomBit(rng);
+    EXPECT_TRUE(store.corrupted());
+    EXPECT_EQ(store.repair(), store.imageBytes());
+    EXPECT_FALSE(store.corrupted());
+    EXPECT_EQ(store.flippedBits(), 0u);
+    EXPECT_EQ(store.parityErrorWords(), 0u);
+    EXPECT_EQ(store.silentBits(), 0u);
+}
+
+TEST(MicrocodeStore, ImageBytesRoundsUp)
+{
+    EXPECT_EQ(core::MicrocodeStore(8).imageBytes(), 1u);
+    EXPECT_EQ(core::MicrocodeStore(9).imageBytes(), 2u);
+    EXPECT_EQ(core::MicrocodeStore(4096).imageBytes(), 512u);
+}
+
+TEST(JjMemory, ParityAndReuploadHelpers)
+{
+    EXPECT_EQ(tech::JJMemoryModel::imageWords(4096),
+              4096 / tech::microcodeWordBits);
+    EXPECT_EQ(tech::JJMemoryModel::parityOverheadBits(4096),
+              4096 / tech::microcodeWordBits);
+    // 4096 bits = 512 bytes at 1 MB/s -> 512 us.
+    EXPECT_NEAR(tech::JJMemoryModel::reuploadSeconds(4096, 1e6),
+                512e-6, 1e-9);
+}
+
+// --- Decode deadline arithmetic ------------------------------------
+
+TEST(DecodeDeadline, DisabledWindowNeverOverruns)
+{
+    decode::DecodeDeadline dl; // windowTicks == 0
+    EXPECT_FALSE(dl.overruns(0));
+    EXPECT_FALSE(dl.overruns(100000));
+    EXPECT_DOUBLE_EQ(dl.stretch(100000), 1.0);
+}
+
+TEST(DecodeDeadline, QuadraticCostCrossesTheWindow)
+{
+    decode::DeadlineConfig cfg;
+    cfg.windowTicks = sim::nanoseconds(1000);
+    cfg.mwpmBaseTicks = sim::nanoseconds(50);
+    cfg.mwpmTicksPerEventSq = sim::nanoseconds(20);
+    decode::DecodeDeadline dl(cfg);
+
+    // 50 + 20 E^2 <= 1000  <=>  E <= 6.
+    EXPECT_FALSE(dl.overruns(6));
+    EXPECT_TRUE(dl.overruns(7));
+    EXPECT_DOUBLE_EQ(dl.stretch(6), 1.0);
+    EXPECT_GT(dl.stretch(7), 1.0);
+    // Stretch equals mwpmTicks / window once past the deadline.
+    EXPECT_DOUBLE_EQ(dl.stretch(10),
+                     double(dl.mwpmTicks(10))
+                         / double(cfg.windowTicks));
+}
+
+} // namespace

@@ -233,12 +233,27 @@ cmdReplay(const Options &opts)
         opts.getDouble("error-rate", 1e-4), 0, 0, 0,
         opts.getDouble("error-rate", 1e-4)};
 
+    // Classical fault model: a uniform per-site rate switches on the
+    // whole resilience stack (ARQ retries, scrubbing, watchdog,
+    // decode-deadline fallback).
+    const double fault_rate = opts.getDouble("fault-rate", 0.0);
+    if (fault_rate > 0.0) {
+        cfg.faults = sim::FaultConfig::uniform(
+            fault_rate,
+            std::uint64_t(opts.getInt("fault-seed", 0x5EEDFAB5)));
+        cfg.scrubIntervalRounds = 64;
+        cfg.heartbeatIntervalRounds = 16;
+        cfg.modelDecodeDeadline = true;
+    }
+
     core::QuestSystem system(cfg);
     system.placeLogicalQubits();
     system.runMixedWorkload(trace,
                             isa::generateDistillationRound(0),
                             rounds);
     std::printf("%s\n", system.report().toString().c_str());
+    if (opts.has("faults-report"))
+        system.master().faultStats().dump(std::cout);
     return 0;
 }
 
@@ -300,6 +315,8 @@ usage()
         "             [--seed S]\n"
         "  replay     --trace FILE [--mces N] [--rounds N]\n"
         "             [--distance D] [--error-rate P]\n"
+        "             [--fault-rate P] [--fault-seed S]\n"
+        "             [--faults-report]\n"
         "  simulate   [--distance D] [--error-rate P] [--trials N]\n"
         "             [--protocol S] [--seed S]");
 }
