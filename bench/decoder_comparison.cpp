@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "decode/cluster_decoder.hpp"
 #include "qecc/extractor.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -72,27 +73,48 @@ printFigure()
         MwpmDecoder greedy(exp.lattice, 0);
         ClusterDecoder cluster(exp.lattice);
 
+        // One independent trial; all randomness comes from the
+        // trial-indexed substream, so the sweep is bit-identical
+        // for any thread count.
+        struct TrialOutcome
+        {
+            std::uint8_t failExact = 0, failGreedy = 0,
+                         failCluster = 0, hasClusters = 0;
+            double clusterRatio = 0.0;
+        };
+        const auto outcomes = sim::parallelMap<TrialOutcome>(
+            std::uint64_t(trials), [&](std::uint64_t t) {
+                sim::Rng rng = sim::Rng::substream(99, t);
+                quantum::PauliFrame frame(exp.lattice.numQubits());
+                const auto events = exp.sample(p, rng, frame);
+
+                quantum::PauliFrame fe = frame, fg = frame,
+                                    fc = frame;
+                decode::applyCorrection(fe, exact.decode(events));
+                decode::applyCorrection(fg, greedy.decode(events));
+                decode::ClusterStats stats;
+                decode::applyCorrection(
+                    fc, cluster.decode(events, stats));
+                TrialOutcome o;
+                o.failExact = exp.logicalError(fe) ? 1 : 0;
+                o.failGreedy = exp.logicalError(fg) ? 1 : 0;
+                o.failCluster = exp.logicalError(fc) ? 1 : 0;
+                if (stats.clusters) {
+                    o.hasClusters = 1;
+                    o.clusterRatio = double(events.total())
+                        / double(stats.clusters);
+                }
+                return o;
+            });
+
         int fail_exact = 0, fail_greedy = 0, fail_cluster = 0;
         double cluster_events = 0, cluster_count = 0;
-        sim::Rng rng(99);
-        for (int t = 0; t < trials; ++t) {
-            quantum::PauliFrame frame(exp.lattice.numQubits());
-            const auto events = exp.sample(p, rng, frame);
-
-            quantum::PauliFrame fe = frame, fg = frame, fc = frame;
-            decode::applyCorrection(fe, exact.decode(events));
-            decode::applyCorrection(fg, greedy.decode(events));
-            decode::ClusterStats stats;
-            decode::applyCorrection(fc,
-                                    cluster.decode(events, stats));
-            fail_exact += exp.logicalError(fe) ? 1 : 0;
-            fail_greedy += exp.logicalError(fg) ? 1 : 0;
-            fail_cluster += exp.logicalError(fc) ? 1 : 0;
-            if (stats.clusters) {
-                cluster_events += double(events.total())
-                    / double(stats.clusters);
-                cluster_count += 1;
-            }
+        for (const TrialOutcome &o : outcomes) {
+            fail_exact += o.failExact;
+            fail_greedy += o.failGreedy;
+            fail_cluster += o.failCluster;
+            cluster_events += o.clusterRatio;
+            cluster_count += o.hasClusters;
         }
         auto rate = [&](int fails) {
             char buf[32];

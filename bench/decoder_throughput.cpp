@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Decoder throughput bench: the binding constraint of the classical
+ * control plane (cf. Das et al., "A Scalable Decoder
+ * Micro-architecture for Fault-Tolerant Quantum Computing") is how
+ * many syndrome windows per second the global decoder sustains.
+ * This bench measures trials/sec and p50/p99 decode latency for the
+ * MWPM (exact + greedy) and cluster decoders, single- and
+ * multi-threaded, and emits BENCH_decoder_throughput.json so the
+ * perf trajectory of the hot path is tracked across PRs.
+ *
+ * Each trial samples a d-round memory experiment from its own
+ * Rng::substream(seed, trial) and decodes it; the multi-thread run
+ * must reproduce the single-thread per-trial correction weights
+ * bit-for-bit (verified here) — the determinism contract of
+ * sim/parallel.hpp.
+ *
+ * Flags: --smoke (CI-sized run), --threads=N (multi-thread degree,
+ * default ThreadPool::defaultThreads()), --trials=N, --out=PATH.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "decode/cluster_decoder.hpp"
+#include "qecc/extractor.hpp"
+#include "sim/logging.hpp"
+#include "sim/parallel.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace quest;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t sampleSeed = 0xDEC0DE;
+
+struct Experiment
+{
+    explicit Experiment(std::size_t d)
+        : lattice(qecc::Lattice::forDistance(d)),
+          schedule(qecc::buildRoundSchedule(
+              lattice, qecc::protocolSpec(qecc::Protocol::Steane))),
+          extractor(schedule)
+    {}
+
+    decode::DetectionEvents
+    sample(double p, sim::Rng &rng) const
+    {
+        quantum::ErrorChannel channel(
+            quantum::ErrorRates{p, 0, 0, 0, p}, rng);
+        quantum::PauliFrame frame(lattice.numQubits());
+        auto history = extractor.runRounds(frame, &channel,
+                                           lattice.rows() / 2 + 1);
+        history.push_back(extractor.runRound(frame, nullptr));
+        return decode::extractDetectionEvents(history, extractor);
+    }
+
+    qecc::Lattice lattice;
+    qecc::RoundSchedule schedule;
+    qecc::SyndromeExtractor extractor;
+};
+
+/** One timed run: per-trial latencies plus total wall time. */
+struct Timing
+{
+    double trialsPerSec = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+    std::size_t threads = 1;
+};
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        std::size_t(q * double(sorted.size() - 1) + 0.5));
+    return sorted[idx];
+}
+
+Timing
+summarize(std::vector<double> latencies, double wall_seconds,
+          std::size_t threads)
+{
+    Timing t;
+    t.threads = threads;
+    t.trialsPerSec = wall_seconds > 0.0
+        ? double(latencies.size()) / wall_seconds : 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    t.p50Ns = percentile(latencies, 0.50);
+    t.p99Ns = percentile(latencies, 0.99);
+    return t;
+}
+
+/**
+ * Decode `trials` independently sampled windows on `pool`,
+ * recording per-trial decode latency and the per-trial correction
+ * weight (the determinism witness).
+ */
+template <typename DecodeFn>
+Timing
+runTrials(sim::ThreadPool &pool, const Experiment &exp, double p,
+          std::uint64_t trials, const DecodeFn &decode_one,
+          std::vector<std::uint64_t> &weights)
+{
+    std::vector<double> latency(trials, 0.0);
+    weights.assign(trials, 0);
+    const auto wall0 = Clock::now();
+    sim::parallelFor(pool, trials, [&](std::uint64_t i) {
+        sim::Rng rng = sim::Rng::substream(sampleSeed, i);
+        const decode::DetectionEvents events = exp.sample(p, rng);
+        const auto t0 = Clock::now();
+        const decode::Correction corr = decode_one(events);
+        const auto t1 = Clock::now();
+        latency[i] = double(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0).count());
+        weights[i] = corr.weight();
+    });
+    const double wall = std::chrono::duration<double>(
+        Clock::now() - wall0).count();
+    return summarize(std::move(latency), wall, pool.threads());
+}
+
+struct ConfigResult
+{
+    std::size_t distance = 0;
+    std::string decoder;
+    Timing single;
+    Timing multi;
+    bool deterministic = false;
+};
+
+void
+jsonTiming(std::ostream &os, const char *key, const Timing &t)
+{
+    os << "    \"" << key << "\": {"
+       << "\"threads\": " << t.threads
+       << ", \"trials_per_sec\": " << t.trialsPerSec
+       << ", \"p50_ns\": " << t.p50Ns
+       << ", \"p99_ns\": " << t.p99Ns << "}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    bool smoke = false;
+    std::uint64_t trials = 0;
+    std::size_t threads = 0;
+    std::string out_path = "BENCH_decoder_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::size_t(std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--trials=", 0) == 0) {
+            trials = std::stoull(arg.substr(9));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else {
+            std::cerr << "unknown flag " << arg << "\n"
+                      << "usage: decoder_throughput [--smoke] "
+                         "[--threads=N] [--trials=N] [--out=PATH]\n";
+            return 1;
+        }
+    }
+    if (trials == 0)
+        trials = smoke ? 64 : 1024;
+    sim::ThreadPool pool(threads ? threads
+                                 : sim::ThreadPool::defaultThreads());
+    sim::ThreadPool serial(1);
+
+    const double p = 3e-3; // the decoder_comparison workload point
+    const std::vector<std::size_t> distances =
+        smoke ? std::vector<std::size_t>{5}
+              : std::vector<std::size_t>{5, 9};
+
+    std::vector<ConfigResult> results;
+    for (const std::size_t d : distances) {
+        const Experiment exp(d);
+        const decode::MwpmDecoder exact(exp.lattice, 14);
+        const decode::MwpmDecoder greedy(exp.lattice, 0);
+        const decode::ClusterDecoder cluster(exp.lattice);
+
+        const auto run = [&](const std::string &name,
+                             const auto &decode_one) {
+            ConfigResult r;
+            r.distance = d;
+            r.decoder = name;
+            std::vector<std::uint64_t> w_single, w_multi;
+            r.single = runTrials(serial, exp, p, trials, decode_one,
+                                 w_single);
+            r.multi = runTrials(pool, exp, p, trials, decode_one,
+                                w_multi);
+            r.deterministic = w_single == w_multi;
+            QUEST_ASSERT(r.deterministic,
+                         "multi-thread decode diverged from "
+                         "single-thread on %s d=%zu",
+                         name.c_str(), d);
+            results.push_back(r);
+        };
+        run("mwpm_exact", [&](const decode::DetectionEvents &e) {
+            return exact.decode(e);
+        });
+        run("mwpm_greedy", [&](const decode::DetectionEvents &e) {
+            return greedy.decode(e);
+        });
+        run("uf_cluster", [&](const decode::DetectionEvents &e) {
+            return cluster.decode(e);
+        });
+    }
+
+    sim::Table table("Decoder throughput (p=3e-3 memory windows, "
+                     + std::to_string(trials) + " trials)");
+    table.header({ "distance", "decoder", "1T trials/s", "1T p50 us",
+                   "1T p99 us", std::to_string(pool.threads())
+                       + "T trials/s", "deterministic" });
+    for (const ConfigResult &r : results) {
+        char b1[32], b2[32], b3[32], b4[32];
+        std::snprintf(b1, sizeof(b1), "%.0f", r.single.trialsPerSec);
+        std::snprintf(b2, sizeof(b2), "%.1f", r.single.p50Ns / 1e3);
+        std::snprintf(b3, sizeof(b3), "%.1f", r.single.p99Ns / 1e3);
+        std::snprintf(b4, sizeof(b4), "%.0f", r.multi.trialsPerSec);
+        table.row({ std::to_string(r.distance), r.decoder, b1, b2,
+                    b3, b4, r.deterministic ? "yes" : "NO" });
+    }
+    table.caption("single-thread latency tracks the scratch-arena + "
+                  "distance-cache hot path; the multi-thread column "
+                  "is the parallel engine's scaling");
+    table.print(std::cout);
+
+    std::ofstream os(out_path);
+    os << "{\n  \"bench\": \"decoder_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"trials\": " << trials << ",\n"
+       << "  \"error_rate\": " << p << ",\n"
+       << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        os << "  {\n    \"distance\": " << r.distance
+           << ",\n    \"decoder\": \"" << r.decoder << "\",\n";
+        jsonTiming(os, "single_thread", r.single);
+        os << ",\n";
+        jsonTiming(os, "multi_thread", r.multi);
+        os << ",\n    \"deterministic\": "
+           << (r.deterministic ? "true" : "false") << "\n  }"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

@@ -10,10 +10,12 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/system.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -77,14 +79,22 @@ printFigure()
                    "scrubs", "fallbacks", "quarantines",
                    "bus overhead" });
 
-    const double clean_bytes = runPoint(0.0).busBytes;
-    for (double p : { 0.0, 1e-4, 1e-3, 1e-2 }) {
-        const SweepPoint pt = runPoint(p);
+    // Each sweep point is an independent full-system simulation
+    // with its own fixed seeds: run them concurrently, one point
+    // per parallel index (chunk = 1 so points never share a chunk).
+    const std::vector<double> rates{ 0.0, 1e-4, 1e-3, 1e-2 };
+    const auto points = sim::parallelMap<SweepPoint>(
+        rates.size(),
+        [&](std::uint64_t i) { return runPoint(rates[i]); },
+        /*chunk=*/1);
+
+    const double clean_bytes = points[0].busBytes;
+    for (const SweepPoint &pt : points) {
         char overhead[32];
         std::snprintf(overhead, sizeof(overhead), "%.3fx",
                       pt.busBytes / clean_bytes);
         table.row({
-            sim::formatCount(p),
+            sim::formatCount(pt.faultRate),
             std::to_string(pt.residualWeight),
             sim::formatCount(pt.retransmits),
             sim::formatCount(pt.scrubs),

@@ -7,7 +7,10 @@
  * factory count scales as C^log|log(e_r)|.
  */
 
+#include <vector>
+
 #include "bench_util.hpp"
+#include "sim/parallel.hpp"
 #include "workloads/estimator.hpp"
 
 namespace {
@@ -25,13 +28,23 @@ printFigure()
                    "MCE-only savings", "total savings",
                    "T-factory ratio" });
 
-    for (double p : { 1e-3, 1e-4, 1e-5 }) {
-        EstimatorConfig cfg;
-        cfg.physicalErrorRate = p;
-        const ResourceEstimator est(cfg);
-        const auto r = est.estimate(workloads::shor(512));
+    // The three sweep points are independent estimator runs; one
+    // point per parallel index, rows emitted in sweep order below.
+    const std::vector<double> rates{ 1e-3, 1e-4, 1e-5 };
+    const auto results = sim::parallelMap<workloads::ResourceEstimate>(
+        rates.size(),
+        [&](std::uint64_t i) {
+            EstimatorConfig cfg;
+            cfg.physicalErrorRate = rates[i];
+            return ResourceEstimator(cfg).estimate(
+                workloads::shor(512));
+        },
+        /*chunk=*/1);
+
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &r = results[i];
         table.row({
-            sim::formatCount(p),
+            sim::formatCount(rates[i]),
             std::to_string(r.codeDistance),
             sim::formatCount(r.physicalQubits),
             sim::formatCount(r.mceSavings()),

@@ -134,17 +134,23 @@ ClusterDecoder::decodeType(const std::vector<DetectionEvent> &events,
         stats.largestCluster =
             std::max(stats.largestCluster, cluster.size());
 
+    // Per-thread scratch: clusters are resolved thousands of times
+    // per sweep trial, so keep the event and path buffers warm.
+    static thread_local std::vector<DetectionEvent> local;
+    static thread_local std::vector<std::size_t> path;
     for (const auto &cluster : clusters) {
-        std::vector<DetectionEvent> local;
+        local.clear();
         local.reserve(cluster.size());
         for (std::size_t idx : cluster)
             local.push_back(events[idx]);
         const MatchingResult mr = _matcher.matchEvents(local);
         for (const Match &m : mr.matches) {
-            const std::vector<std::size_t> path = m.toBoundary
-                ? _matcher.pathToBoundary(local[m.a].ancilla)
-                : _matcher.pathBetween(local[m.a].ancilla,
-                                       local[m.b].ancilla);
+            path.clear();
+            if (m.toBoundary)
+                _matcher.pathToBoundary(local[m.a].ancilla, path);
+            else
+                _matcher.pathBetween(local[m.a].ancilla,
+                                     local[m.b].ancilla, path);
             for (std::size_t q : path)
                 bits[q] ^= 1;
         }

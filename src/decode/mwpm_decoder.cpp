@@ -1,6 +1,7 @@
 #include "mwpm_decoder.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <limits>
 
@@ -11,25 +12,213 @@ namespace quest::decode {
 using qecc::Coord;
 using qecc::SiteType;
 
+namespace {
+
+constexpr std::uint64_t inf = std::numeric_limits<std::uint64_t>::max();
+
+/** Cap on the all-pairs cache: ~4000 ancillas / 64 MiB of table. */
+constexpr std::size_t maxCachedPairs = std::size_t(1) << 24;
+
+constexpr std::uint32_t noAncilla =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Per-thread scratch arena for the matchers and decode(). Reused
+ * across calls so the hot path performs no allocations once warm;
+ * thread-local so a single decoder can decode concurrently from the
+ * parallel Monte-Carlo sweeps.
+ */
+struct Scratch
+{
+    // matchExact. The DP table and weight matrices exist in both a
+    // 32-bit flavour (the common case — halves the cache footprint
+    // of the 2^n table) and a 64-bit flavour used only when the
+    // weight bound could overflow 32 bits.
+    std::vector<std::uint64_t> bweight;
+    std::vector<std::uint64_t> pweight; ///< n*n, flat
+    std::vector<std::uint64_t> f;       ///< 1<<n DP table
+    std::vector<std::uint32_t> bweight32;
+    std::vector<std::uint32_t> pweight32;
+    std::vector<std::uint32_t> f32;
+
+    // matchGreedy
+    struct Edge
+    {
+        std::uint64_t weight;
+        std::size_t a;
+        std::size_t b;      // == a for boundary edges
+        bool boundary;
+    };
+    std::vector<Edge> edges;
+    std::vector<std::uint8_t> used;
+
+    // decode
+    std::vector<std::uint8_t> xflip;
+    std::vector<std::uint8_t> zflip;
+    std::vector<std::size_t> path;
+};
+
+Scratch &
+scratch()
+{
+    static thread_local Scratch s;
+    return s;
+}
+
+/**
+ * Bitmask-DP exact matching over n events. f[mask] = min weight to
+ * resolve exactly the events in mask; event i (the lowest set bit)
+ * either matches the boundary or pairs with another set bit j.
+ * Weight type W is uint32 when the weight bound allows (the 2^n
+ * table then fits twice as much of the cache) and uint64 otherwise.
+ */
+template <typename W>
+MatchingResult
+exactDp(std::size_t n, std::vector<W> &f, const W *bweight,
+        const W *pweight)
+{
+    constexpr W winf = std::numeric_limits<W>::max();
+    f.assign(std::size_t(1) << n, winf);
+    f[0] = 0;
+    for (std::size_t mask = 1; mask < f.size(); ++mask) {
+        const std::size_t i = std::size_t(std::countr_zero(mask));
+        const std::size_t without_i = mask & (mask - 1);
+        // Option 1: event i matches the boundary.
+        W best = f[without_i] != winf ? W(f[without_i] + bweight[i])
+                                      : winf;
+        // Option 2: event i pairs with some j in the mask. All
+        // other set bits are > i, so iterate them directly.
+        for (std::size_t rem = without_i; rem; rem &= rem - 1) {
+            const std::size_t j =
+                std::size_t(std::countr_zero(rem));
+            const std::size_t rest =
+                without_i & ~(std::size_t(1) << j);
+            if (f[rest] == winf)
+                continue;
+            const W cand = W(f[rest] + pweight[i * n + j]);
+            if (cand < best)
+                best = cand;
+        }
+        f[mask] = best;
+    }
+
+    // Reconstruct the optimal decisions.
+    MatchingResult result;
+    result.totalWeight = f[f.size() - 1];
+    std::size_t mask = f.size() - 1;
+    while (mask) {
+        const std::size_t i = std::size_t(std::countr_zero(mask));
+        const std::size_t without_i = mask & (mask - 1);
+        if (f[without_i] != winf
+            && f[mask] == W(f[without_i] + bweight[i])) {
+            result.matches.push_back(Match{i, 0, true, bweight[i]});
+            mask = without_i;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t rem = without_i; rem && !found;
+             rem &= rem - 1) {
+            const std::size_t j =
+                std::size_t(std::countr_zero(rem));
+            const std::size_t rest =
+                without_i & ~(std::size_t(1) << j);
+            if (f[rest] != winf
+                && f[mask] == W(f[rest] + pweight[i * n + j])) {
+                result.matches.push_back(
+                    Match{i, j, false, pweight[i * n + j]});
+                mask = rest;
+                found = true;
+            }
+        }
+        QUEST_ASSERT(found, "matching reconstruction failed");
+    }
+    return result;
+}
+
+} // namespace
+
+MwpmDecoder::MwpmDecoder(const qecc::Lattice &lattice,
+                         std::size_t exact_limit)
+    : _lattice(&lattice), _exactLimit(exact_limit)
+{
+    QUEST_ASSERT(exact_limit <= maxExactLimit,
+                 "exact_limit %zu exceeds the bitmask DP cap %zu",
+                 exact_limit, maxExactLimit);
+
+    // Build the per-lattice distance cache: compact ancilla ids,
+    // all-pairs spatial distances, per-ancilla edge distances.
+    const std::size_t sites = lattice.numQubits();
+    _ancillaId.assign(sites, noAncilla);
+    for (std::size_t idx = 0; idx < sites; ++idx) {
+        const Coord c = lattice.coord(idx);
+        if (lattice.isAncilla(c))
+            _ancillaId[idx] = std::uint32_t(_numAncilla++);
+    }
+    if (_numAncilla * _numAncilla > maxCachedPairs) {
+        _ancillaId.clear();
+        _numAncilla = 0;
+        return;
+    }
+
+    // Build into locals: edgeDistance() consults _edge, which must
+    // stay empty (uncached path) until the table is complete.
+    std::vector<std::uint32_t> spatial(_numAncilla * _numAncilla, 0);
+    std::vector<std::uint32_t> edge(_numAncilla, 0);
+    for (std::size_t ia = 0; ia < sites; ++ia) {
+        const std::uint32_t a = _ancillaId[ia];
+        if (a == noAncilla)
+            continue;
+        const Coord ca = lattice.coord(ia);
+        const DetectionEvent ea{0, ca, lattice.siteType(ca)};
+        edge[a] = std::uint32_t(edgeDistance(ea));
+        for (std::size_t ib = 0; ib < sites; ++ib) {
+            const std::uint32_t b = _ancillaId[ib];
+            if (b == noAncilla)
+                continue;
+            const Coord cb = lattice.coord(ib);
+            const std::uint32_t dr =
+                std::uint32_t(std::abs(ca.row - cb.row));
+            const std::uint32_t dc =
+                std::uint32_t(std::abs(ca.col - cb.col));
+            // Only same-type pairs are ever queried; cross-type
+            // entries hold the truncated value and stay unused.
+            spatial[a * _numAncilla + b] = (dr + dc) / 2;
+        }
+    }
+    _spatial = std::move(spatial);
+    _edge = std::move(edge);
+}
+
 std::uint64_t
 MwpmDecoder::distance(const DetectionEvent &a, const DetectionEvent &b) const
 {
     QUEST_ASSERT(a.type == b.type,
                  "cannot match events of different stabilizer types");
+    const std::uint64_t dt = a.round > b.round
+        ? a.round - b.round : b.round - a.round;
+    if (!_spatial.empty()) {
+        const std::uint32_t ia = _ancillaId[_lattice->index(a.ancilla)];
+        const std::uint32_t ib = _ancillaId[_lattice->index(b.ancilla)];
+        return _spaceWeight * _spatial[ia * _numAncilla + ib]
+            + _timeWeight * dt;
+    }
     const std::uint64_t dr = std::uint64_t(std::abs(a.ancilla.row
                                                     - b.ancilla.row));
     const std::uint64_t dc = std::uint64_t(std::abs(a.ancilla.col
                                                     - b.ancilla.col));
     QUEST_ASSERT(dr % 2 == 0 && dc % 2 == 0,
                  "same-type checks must differ by even steps");
-    const std::uint64_t dt = a.round > b.round
-        ? a.round - b.round : b.round - a.round;
     return _spaceWeight * ((dr + dc) / 2) + _timeWeight * dt;
 }
 
 std::uint64_t
 MwpmDecoder::edgeDistance(const DetectionEvent &e) const
 {
+    if (!_edge.empty()) {
+        const std::uint32_t id = _ancillaId[_lattice->index(e.ancilla)];
+        if (id != noAncilla)
+            return _edge[id];
+    }
     const Coord c = e.ancilla;
     if (e.type == SiteType::ZAncilla) {
         // X-error chains terminate on the top/bottom data rows.
@@ -73,32 +262,39 @@ MwpmDecoder::boundaryDistance(const DetectionEvent &e) const
     return _spaceWeight * dist;
 }
 
-std::vector<std::size_t>
-MwpmDecoder::pathBetween(Coord a, Coord b) const
+void
+MwpmDecoder::pathBetween(Coord a, Coord b,
+                         std::vector<std::size_t> &out) const
 {
-    std::vector<std::size_t> path;
     Coord cur = a;
     // Walk rows first, collecting the data qubit between each pair
     // of checks, then columns.
     while (cur.row != b.row) {
         const int step = cur.row < b.row ? 2 : -2;
-        path.push_back(_lattice->index(
+        out.push_back(_lattice->index(
             Coord{cur.row + step / 2, cur.col}));
         cur.row += step;
     }
     while (cur.col != b.col) {
         const int step = cur.col < b.col ? 2 : -2;
-        path.push_back(_lattice->index(
+        out.push_back(_lattice->index(
             Coord{cur.row, cur.col + step / 2}));
         cur.col += step;
     }
-    return path;
 }
 
 std::vector<std::size_t>
-MwpmDecoder::pathToBoundary(Coord a) const
+MwpmDecoder::pathBetween(Coord a, Coord b) const
 {
     std::vector<std::size_t> path;
+    pathBetween(a, b, path);
+    return path;
+}
+
+void
+MwpmDecoder::pathToBoundary(Coord a,
+                            std::vector<std::size_t> &out) const
+{
     const SiteType type = _lattice->siteType(a);
     QUEST_ASSERT(type != SiteType::Data, "boundary path from non-check");
 
@@ -106,8 +302,10 @@ MwpmDecoder::pathToBoundary(Coord a) const
     // terminating boundary: route the chain into it.
     const DetectionEvent here{0, a, type};
     if (const auto masked = nearestMaskedCheck(here)) {
-        if (masked->first < edgeDistance(here))
-            return pathBetween(a, masked->second);
+        if (masked->first < edgeDistance(here)) {
+            pathBetween(a, masked->second, out);
+            return;
+        }
     }
 
     if (type == SiteType::ZAncilla) {
@@ -120,7 +318,7 @@ MwpmDecoder::pathToBoundary(Coord a) const
             const int data_row = r + step;
             if (data_row < 0 || data_row >= int(_lattice->rows()))
                 break;
-            path.push_back(_lattice->index(Coord{data_row, a.col}));
+            out.push_back(_lattice->index(Coord{data_row, a.col}));
             r += 2 * step;
         }
     } else {
@@ -133,10 +331,17 @@ MwpmDecoder::pathToBoundary(Coord a) const
             const int data_col = c + step;
             if (data_col < 0 || data_col >= int(_lattice->cols()))
                 break;
-            path.push_back(_lattice->index(Coord{a.row, data_col}));
+            out.push_back(_lattice->index(Coord{a.row, data_col}));
             c += 2 * step;
         }
     }
+}
+
+std::vector<std::size_t>
+MwpmDecoder::pathToBoundary(Coord a) const
+{
+    std::vector<std::size_t> path;
+    pathToBoundary(a, path);
     return path;
 }
 
@@ -144,108 +349,69 @@ MatchingResult
 MwpmDecoder::matchExact(const std::vector<DetectionEvent> &events) const
 {
     const std::size_t n = events.size();
-    constexpr std::uint64_t inf = std::numeric_limits<std::uint64_t>::max();
+    Scratch &s = scratch();
 
-    // Precompute pair and boundary weights.
-    std::vector<std::uint64_t> bweight(n);
-    std::vector<std::vector<std::uint64_t>> pweight(
-        n, std::vector<std::uint64_t>(n, 0));
+    // Precompute pair and boundary weights into the flat arena.
+    s.bweight.resize(n);
+    s.pweight.resize(n * n);
+    std::uint64_t sum_boundary = 0;
+    std::uint64_t max_pair = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        bweight[i] = boundaryDistance(events[i]);
+        s.bweight[i] = boundaryDistance(events[i]);
+        sum_boundary += s.bweight[i];
         for (std::size_t j = i + 1; j < n; ++j) {
-            pweight[i][j] = distance(events[i], events[j]);
-            pweight[j][i] = pweight[i][j];
+            const std::uint64_t w = distance(events[i], events[j]);
+            s.pweight[i * n + j] = w;
+            s.pweight[j * n + i] = w;
+            max_pair = std::max(max_pair, w);
         }
     }
 
-    // f[mask] = min weight to resolve exactly the events in mask.
-    std::vector<std::uint64_t> f(std::size_t(1) << n, inf);
-    f[0] = 0;
-    for (std::size_t mask = 1; mask < f.size(); ++mask) {
-        std::size_t i = 0;
-        while (!(mask & (std::size_t(1) << i)))
-            ++i;
-        const std::size_t without_i = mask & ~(std::size_t(1) << i);
-
-        // Option 1: event i matches the boundary.
-        if (f[without_i] != inf)
-            f[mask] = f[without_i] + bweight[i];
-
-        // Option 2: event i pairs with some j in the mask.
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const std::size_t bit_j = std::size_t(1) << j;
-            if (!(mask & bit_j))
-                continue;
-            const std::size_t rest = without_i & ~bit_j;
-            if (f[rest] == inf)
-                continue;
-            const std::uint64_t cand = f[rest] + pweight[i][j];
-            if (cand < f[mask])
-                f[mask] = cand;
-        }
+    // Every reachable f[mask] is bounded by the all-boundary
+    // matching; candidates add at most one more pair weight. When
+    // that bound fits comfortably in 32 bits, run the DP on uint32
+    // tables for cache density.
+    const std::uint64_t bound = sum_boundary + max_pair;
+    if (bound < std::numeric_limits<std::uint32_t>::max()) {
+        s.bweight32.resize(n);
+        s.pweight32.resize(n * n);
+        for (std::size_t i = 0; i < n; ++i)
+            s.bweight32[i] = std::uint32_t(s.bweight[i]);
+        for (std::size_t i = 0; i < n * n; ++i)
+            s.pweight32[i] = std::uint32_t(s.pweight[i]);
+        return exactDp<std::uint32_t>(n, s.f32, s.bweight32.data(),
+                                      s.pweight32.data());
     }
-
-    // Reconstruct the optimal decisions.
-    MatchingResult result;
-    result.totalWeight = f[f.size() - 1];
-    std::size_t mask = f.size() - 1;
-    while (mask) {
-        std::size_t i = 0;
-        while (!(mask & (std::size_t(1) << i)))
-            ++i;
-        const std::size_t without_i = mask & ~(std::size_t(1) << i);
-        if (f[without_i] != inf
-            && f[mask] == f[without_i] + bweight[i]) {
-            result.matches.push_back(Match{i, 0, true, bweight[i]});
-            mask = without_i;
-            continue;
-        }
-        bool found = false;
-        for (std::size_t j = i + 1; j < n && !found; ++j) {
-            const std::size_t bit_j = std::size_t(1) << j;
-            if (!(mask & bit_j))
-                continue;
-            const std::size_t rest = without_i & ~bit_j;
-            if (f[rest] != inf && f[mask] == f[rest] + pweight[i][j]) {
-                result.matches.push_back(
-                    Match{i, j, false, pweight[i][j]});
-                mask = rest;
-                found = true;
-            }
-        }
-        QUEST_ASSERT(found, "matching reconstruction failed");
-    }
-    return result;
+    return exactDp<std::uint64_t>(n, s.f, s.bweight.data(),
+                                  s.pweight.data());
 }
 
 MatchingResult
 MwpmDecoder::matchGreedy(const std::vector<DetectionEvent> &events) const
 {
     const std::size_t n = events.size();
-    struct Edge
-    {
-        std::uint64_t weight;
-        std::size_t a;
-        std::size_t b;      // == a for boundary edges
-        bool boundary;
-    };
-    std::vector<Edge> edges;
+    Scratch &s = scratch();
+    auto &edges = s.edges;
+    edges.clear();
     edges.reserve(n * (n + 1) / 2);
     for (std::size_t i = 0; i < n; ++i) {
-        edges.push_back(Edge{boundaryDistance(events[i]), i, i, true});
+        edges.push_back(
+            Scratch::Edge{boundaryDistance(events[i]), i, i, true});
         for (std::size_t j = i + 1; j < n; ++j)
-            edges.push_back(Edge{distance(events[i], events[j]), i, j,
-                                 false});
+            edges.push_back(
+                Scratch::Edge{distance(events[i], events[j]), i, j,
+                              false});
     }
     std::sort(edges.begin(), edges.end(),
-              [](const Edge &x, const Edge &y) {
+              [](const Scratch::Edge &x, const Scratch::Edge &y) {
                   return x.weight < y.weight;
               });
 
     MatchingResult result;
-    std::vector<std::uint8_t> used(n, 0);
+    s.used.assign(n, 0);
+    auto &used = s.used;
     std::size_t remaining = n;
-    for (const Edge &e : edges) {
+    for (const Scratch::Edge &e : edges) {
         if (!remaining)
             break;
         if (used[e.a] || (!e.boundary && used[e.b]))
@@ -280,32 +446,36 @@ Correction
 MwpmDecoder::decode(const DetectionEvents &events) const
 {
     Correction out;
+    Scratch &s = scratch();
 
     // Flip parity per data qubit, then collect odd-parity qubits.
-    std::vector<std::uint8_t> xflip(_lattice->numQubits(), 0);
-    std::vector<std::uint8_t> zflip(_lattice->numQubits(), 0);
+    s.xflip.assign(_lattice->numQubits(), 0);
+    s.zflip.assign(_lattice->numQubits(), 0);
 
     const auto apply_matches =
         [&](const std::vector<DetectionEvent> &evts,
             std::vector<std::uint8_t> &bits) {
             const MatchingResult mr = matchEvents(evts);
             for (const Match &m : mr.matches) {
-                const std::vector<std::size_t> path = m.toBoundary
-                    ? pathToBoundary(evts[m.a].ancilla)
-                    : pathBetween(evts[m.a].ancilla, evts[m.b].ancilla);
-                for (std::size_t q : path)
+                s.path.clear();
+                if (m.toBoundary)
+                    pathToBoundary(evts[m.a].ancilla, s.path);
+                else
+                    pathBetween(evts[m.a].ancilla, evts[m.b].ancilla,
+                                s.path);
+                for (std::size_t q : s.path)
                     bits[q] ^= 1;
             }
         };
 
     // Z-check events locate X errors; X-check events locate Z errors.
-    apply_matches(events.zEvents, xflip);
-    apply_matches(events.xEvents, zflip);
+    apply_matches(events.zEvents, s.xflip);
+    apply_matches(events.xEvents, s.zflip);
 
-    for (std::size_t q = 0; q < xflip.size(); ++q) {
-        if (xflip[q])
+    for (std::size_t q = 0; q < s.xflip.size(); ++q) {
+        if (s.xflip[q])
             out.xFlips.push_back(q);
-        if (zflip[q])
+        if (s.zflip[q])
             out.zFlips.push_back(q);
     }
     return out;

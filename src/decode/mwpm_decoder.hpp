@@ -46,7 +46,16 @@ struct MatchingResult
     std::uint64_t totalWeight = 0;
 };
 
-/** The global decoder living in the master controller. */
+/**
+ * The global decoder living in the master controller.
+ *
+ * Thread safety: decode()/matchEvents() and the distance/path
+ * queries are const and keep their mutable working state in
+ * thread-local scratch arenas, so one decoder instance may decode
+ * from many threads concurrently (the parallel Monte-Carlo sweeps
+ * rely on this). The setters are not synchronised; configure the
+ * decoder before sharing it.
+ */
 class MwpmDecoder
 {
   public:
@@ -54,14 +63,21 @@ class MwpmDecoder
     using MaskPredicate = std::function<bool(std::size_t)>;
 
     /**
+     * Hard cap on `exact_limit`: the bitmask DP table holds
+     * 2^exact_limit entries, so anything beyond this is a multi-GiB
+     * allocation (and, past 63, undefined behaviour in the shift
+     * computing the table size).
+     */
+    static constexpr std::size_t maxExactLimit = 24;
+
+    /**
      * @param lattice Code geometry (must outlive the decoder).
      * @param exact_limit Largest event count decoded by the exact
      *        bitmask DP; larger sets fall back to greedy matching.
+     *        Must be <= maxExactLimit.
      */
     explicit MwpmDecoder(const qecc::Lattice &lattice,
-                         std::size_t exact_limit = 14)
-        : _lattice(&lattice), _exactLimit(exact_limit)
-    {}
+                         std::size_t exact_limit = 14);
 
     /**
      * Make the decoder defect-aware: masked (syndrome-disabled)
@@ -127,12 +143,35 @@ class MwpmDecoder
     /** Data-qubit path from a check to its nearest boundary. */
     std::vector<std::size_t> pathToBoundary(qecc::Coord a) const;
 
+    /** Allocation-free variants: append the path onto `out`. */
+    void pathBetween(qecc::Coord a, qecc::Coord b,
+                     std::vector<std::size_t> &out) const;
+    void pathToBoundary(qecc::Coord a,
+                        std::vector<std::size_t> &out) const;
+
   private:
     const qecc::Lattice *_lattice;
     std::size_t _exactLimit;
     MaskPredicate _masked;
     std::uint64_t _spaceWeight = 1;
     std::uint64_t _timeWeight = 1;
+
+    /**
+     * Per-lattice distance cache, built once at construction: the
+     * hot paths (exact DP precompute, greedy edge build, cluster
+     * growth) query distance()/boundaryDistance() O(n^2) times per
+     * decode, and recomputing the lattice geometry each time
+     * dominated the profile. `_ancillaId` maps a lattice site index
+     * to a compact ancilla id; `_spatial` holds (dr+dc)/2 for every
+     * ancilla pair; `_edge` holds each ancilla's data-qubit count to
+     * the nearest lattice edge. Weights are applied at lookup so
+     * setEdgeWeights() stays cheap. Empty (= disabled) when the
+     * all-pairs table would be unreasonably large.
+     */
+    std::vector<std::uint32_t> _ancillaId;
+    std::vector<std::uint32_t> _spatial;
+    std::vector<std::uint32_t> _edge;
+    std::size_t _numAncilla = 0;
 
     MatchingResult matchExact(
         const std::vector<DetectionEvent> &events) const;

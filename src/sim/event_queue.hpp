@@ -85,6 +85,14 @@ class EventQueue
         Callback cb;
     };
 
+    /**
+     * Heap order: earliest tick, then lowest priority, then lowest
+     * sequence number. The monotone `seq` stamped in schedule() is
+     * what actually delivers the FIFO tie-break promised above — a
+     * std::priority_queue alone leaves equal keys in arbitrary
+     * order (audited; regression-tested by
+     * EventQueue.FifoStressManySameTickEvents).
+     */
     struct Later
     {
         bool

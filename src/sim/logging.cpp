@@ -1,12 +1,15 @@
 #include "logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace quest::sim {
 
 namespace {
 
-bool quiet_flag = false;
+// Atomic: worker threads of the parallel Monte-Carlo engine may
+// call warn()/inform() while the main thread owns the flag.
+std::atomic<bool> quiet_flag{false};
 
 std::string
 vformat(const char *fmt, va_list args)

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * parallelFor / parallelReduce / parallelMap facade over ThreadPool.
+ *
+ * Determinism contract (see DESIGN.md "Parallel execution engine"):
+ *
+ *  1. Work is identified by index, never by thread. Anything
+ *     stochastic inside a body must draw from an Rng substream
+ *     derived from the index — `Rng::substream(seed, i)` — so trial
+ *     i produces the same draws no matter which thread runs it.
+ *  2. The chunk partition is a function of (n, chunk) only. The
+ *     default chunk size never consults the thread count, so
+ *     parallelReduce combines its per-chunk partials in the same
+ *     order — and hence the same floating-point association — for
+ *     every pool size, including 1.
+ *  3. Bodies may only write to per-index slots (parallelMap) or
+ *     chunk-private accumulators (parallelReduce); there is no
+ *     shared mutable state to race on.
+ *
+ * Together these make every ported sweep bit-identical across
+ * thread counts (asserted by tests/test_parallel.cpp and the
+ * ParallelSweep tests in tests/test_sweeps.cpp).
+ */
+
+#ifndef QUEST_SIM_PARALLEL_HPP
+#define QUEST_SIM_PARALLEL_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "thread_pool.hpp"
+
+namespace quest::sim {
+
+namespace detail {
+
+/**
+ * Default chunk size: a function of n alone (never the thread
+ * count), small enough to steal well, large enough to amortise the
+ * claim. With /64 a typical 600-trial sweep yields ~64 chunks.
+ */
+inline std::uint64_t
+defaultChunk(std::uint64_t n)
+{
+    const std::uint64_t c = n / 64;
+    return c == 0 ? 1 : (c > 1024 ? 1024 : c);
+}
+
+} // namespace detail
+
+/** Run body(i) for every i in [0, n) on the pool. */
+template <typename Body>
+void
+parallelFor(ThreadPool &pool, std::uint64_t n, Body &&body,
+            std::uint64_t chunk = 0)
+{
+    if (chunk == 0)
+        chunk = detail::defaultChunk(n);
+    pool.forRange(n, chunk,
+                  [&body](std::uint64_t begin, std::uint64_t end) {
+                      for (std::uint64_t i = begin; i < end; ++i)
+                          body(i);
+                  });
+}
+
+/** parallelFor on the shared global pool. */
+template <typename Body>
+void
+parallelFor(std::uint64_t n, Body &&body, std::uint64_t chunk = 0)
+{
+    parallelFor(ThreadPool::global(), n, std::forward<Body>(body),
+                chunk);
+}
+
+/**
+ * Reduce map(i) over [0, n) with combine(), starting from identity.
+ * Each chunk folds left-to-right into a chunk-private accumulator;
+ * the per-chunk partials are then folded in chunk order on the
+ * calling thread. Because the chunking depends only on (n, chunk),
+ * the full association — and so the exact floating-point result —
+ * is independent of the thread count.
+ */
+template <typename T, typename Map, typename Combine>
+T
+parallelReduce(ThreadPool &pool, std::uint64_t n, T identity,
+               Map &&map, Combine &&combine, std::uint64_t chunk = 0)
+{
+    if (n == 0)
+        return identity;
+    if (chunk == 0)
+        chunk = detail::defaultChunk(n);
+    const std::uint64_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<T> partials(std::size_t(num_chunks), identity);
+    // forRange hands out exactly chunk-aligned ranges, so begin /
+    // chunk is this range's unique partial slot.
+    pool.forRange(n, chunk,
+                  [&](std::uint64_t begin, std::uint64_t end) {
+                      T acc = identity;
+                      for (std::uint64_t i = begin; i < end; ++i)
+                          acc = combine(std::move(acc), map(i));
+                      partials[std::size_t(begin / chunk)] =
+                          std::move(acc);
+                  });
+    T total = std::move(identity);
+    for (T &p : partials)
+        total = combine(std::move(total), std::move(p));
+    return total;
+}
+
+/** parallelReduce on the shared global pool. */
+template <typename T, typename Map, typename Combine>
+T
+parallelReduce(std::uint64_t n, T identity, Map &&map,
+               Combine &&combine, std::uint64_t chunk = 0)
+{
+    return parallelReduce(ThreadPool::global(), n,
+                          std::move(identity),
+                          std::forward<Map>(map),
+                          std::forward<Combine>(combine), chunk);
+}
+
+/**
+ * Compute fn(i) for every i in [0, n) into a vector, one slot per
+ * index. Trivially deterministic: slot i is written exactly once.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(ThreadPool &pool, std::uint64_t n, Fn &&fn,
+            std::uint64_t chunk = 0)
+{
+    std::vector<T> out;
+    out.resize(std::size_t(n));
+    parallelFor(pool, n, [&](std::uint64_t i) {
+        out[std::size_t(i)] = fn(i);
+    }, chunk);
+    return out;
+}
+
+/** parallelMap on the shared global pool. */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::uint64_t n, Fn &&fn, std::uint64_t chunk = 0)
+{
+    return parallelMap<T>(ThreadPool::global(), n,
+                          std::forward<Fn>(fn), chunk);
+}
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_PARALLEL_HPP

@@ -37,6 +37,17 @@ Rng::seed(std::uint64_t seed_value)
         s = splitmix64(sm);
 }
 
+Rng
+Rng::substream(std::uint64_t seed_value, std::uint64_t index)
+{
+    std::uint64_t sm = seed_value;
+    std::uint64_t sub = splitmix64(sm) + index;
+    Rng r;
+    for (auto &s : r._state)
+        s = splitmix64(sub);
+    return r;
+}
+
 std::uint64_t
 Rng::next()
 {

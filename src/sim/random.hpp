@@ -39,6 +39,19 @@ class Rng
     /** Reseed the generator, restoring determinism mid-run. */
     void seed(std::uint64_t seed);
 
+    /**
+     * Derive an independent substream keyed by (seed, index).
+     *
+     * This is the determinism contract of the parallel Monte-Carlo
+     * engine (parallel.hpp): trial i of a sweep draws only from
+     * `substream(seed, i)`, so its random sequence depends on the
+     * trial index and never on which thread runs it or in what
+     * order. The substream key is splitmix64(seed) + index, expanded
+     * through splitmix64 into the four state words; splitmix64's
+     * per-step bijection keeps distinct indices on distinct streams.
+     */
+    static Rng substream(std::uint64_t seed, std::uint64_t index);
+
     /** @name UniformRandomBitGenerator interface (for <random>/shuffle). */
     ///@{
     using result_type = std::uint64_t;

@@ -72,9 +72,14 @@ Histogram::sample(double v, std::uint64_t count)
         _minSample = std::min(_minSample, v);
         _maxSample = std::max(_maxSample, v);
     }
+    // Welford update, batched for `count` identical samples.
+    const double c = double(count);
+    const double prev = double(_samples);
+    const double total = prev + c;
+    const double delta = v - _mean;
+    _mean += delta * (c / total);
+    _m2 += delta * delta * (prev * c / total);
     _samples += count;
-    _sum += v * double(count);
-    _sumSq += v * v * double(count);
 
     double span = _max - _min;
     auto idx = static_cast<std::int64_t>((v - _min) / span
@@ -88,7 +93,7 @@ Histogram::sample(double v, std::uint64_t count)
 double
 Histogram::mean() const
 {
-    return _samples ? _sum / double(_samples) : 0.0;
+    return _samples ? _mean : 0.0;
 }
 
 double
@@ -96,8 +101,7 @@ Histogram::stddev() const
 {
     if (_samples < 2)
         return 0.0;
-    double m = mean();
-    double var = _sumSq / double(_samples) - m * m;
+    const double var = _m2 / double(_samples);
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -123,8 +127,8 @@ Histogram::reset()
     for (auto &b : _buckets)
         b = 0;
     _samples = 0;
-    _sum = 0.0;
-    _sumSq = 0.0;
+    _mean = 0.0;
+    _m2 = 0.0;
     _minSample = 0.0;
     _maxSample = 0.0;
 }

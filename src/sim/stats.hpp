@@ -120,8 +120,11 @@ class Histogram : public StatBase
     double _max;
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _samples = 0;
-    double _sum = 0.0;
-    double _sumSq = 0.0;
+    // Welford running moments: the naive E[x^2] - E[x]^2 formula
+    // catastrophically cancels for large-offset samples (picosecond
+    // timestamps near 1e9 leave stddev with no significant bits).
+    double _mean = 0.0;
+    double _m2 = 0.0; ///< sum of squared deviations from the mean
     double _minSample = 0.0;
     double _maxSample = 0.0;
 };

@@ -37,6 +37,42 @@ TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
+TEST(EventQueue, FifoStressManySameTickEvents)
+{
+    // Audit test for the FIFO tie-break promise (see the Later
+    // comparator in event_queue.hpp): many events at one (tick,
+    // priority) must run in exact insertion order. A heap without
+    // the monotone sequence number would interleave them
+    // arbitrarily.
+    EventQueue q;
+    constexpr int n = 500;
+    std::vector<int> order;
+    order.reserve(n);
+    for (int i = 0; i < n; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); },
+                   defaultPriority);
+    EXPECT_EQ(q.run(), std::uint64_t(n));
+    ASSERT_EQ(order.size(), std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i) << "slot " << i;
+
+    // Interleaving priorities at the same tick preserves FIFO
+    // within each priority class.
+    std::vector<int> mixed;
+    for (int i = 0; i < 10; ++i) {
+        q.schedule(100, [&mixed, i] { mixed.push_back(100 + i); },
+                   statsPriority);
+        q.schedule(100, [&mixed, i] { mixed.push_back(i); },
+                   clockPriority);
+    }
+    q.run();
+    ASSERT_EQ(mixed.size(), 20u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(mixed[std::size_t(i)], i);
+        EXPECT_EQ(mixed[std::size_t(10 + i)], 100 + i);
+    }
+}
+
 TEST(EventQueue, LimitStopsBeforeLaterEvents)
 {
     EventQueue q;

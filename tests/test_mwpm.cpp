@@ -11,6 +11,7 @@
 
 #include "decode/mwpm_decoder.hpp"
 #include "qecc/distance.hpp"
+#include "sim/logging.hpp"
 #include "sim/random.hpp"
 
 namespace {
@@ -241,6 +242,80 @@ TEST(Mwpm, ExactBeatsOrTiesGreedy)
         EXPECT_LE(exact.matchEvents(events).totalWeight,
                   greedy.matchEvents(events).totalWeight)
             << "trial " << trial;
+    }
+}
+
+TEST(Mwpm, ExactLimitAboveDpCapRejected)
+{
+    // The bitmask DP allocates 2^exact_limit table entries: 30 would
+    // be a multi-GiB allocation, 64 shifts past the word width (UB).
+    // Construction must reject anything above the documented cap.
+    quest::sim::setQuiet(true);
+    Harness h(5);
+    EXPECT_THROW(MwpmDecoder(h.lattice, 25), quest::sim::SimError);
+    EXPECT_THROW(MwpmDecoder(h.lattice, 30), quest::sim::SimError);
+    EXPECT_THROW(MwpmDecoder(h.lattice, 64), quest::sim::SimError);
+    EXPECT_NO_THROW(MwpmDecoder(h.lattice,
+                                MwpmDecoder::maxExactLimit));
+    EXPECT_EQ(MwpmDecoder::maxExactLimit, 24u);
+    quest::sim::setQuiet(false);
+}
+
+/** Every event index appears in exactly one match. */
+bool
+matchesCoverAllEvents(const MatchingResult &mr, std::size_t n)
+{
+    std::vector<int> seen(n, 0);
+    for (const Match &m : mr.matches) {
+        ++seen[m.a];
+        if (!m.toBoundary)
+            ++seen[m.b];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (seen[i] != 1)
+            return false;
+    return true;
+}
+
+TEST(Mwpm, ExactVsGreedyEquivalenceAtLimitBoundary)
+{
+    // A decoder with exact_limit L runs the optimal DP for exactly L
+    // events and falls back to the greedy matcher at L+1. At the
+    // boundary both regimes must produce complete matchings, the
+    // L-event result must equal a reference exact matcher's weight,
+    // and the (L+1)-event greedy result may only be heavier than the
+    // reference optimum.
+    constexpr std::size_t limit = 8;
+    Harness h(9);
+    MwpmDecoder boundary(h.lattice, limit);
+    MwpmDecoder reference(h.lattice, 14); // exact for both sizes
+    Rng rng(1234);
+    const auto zs = h.lattice.sites(SiteType::ZAncilla);
+    for (int trial = 0; trial < 30; ++trial) {
+        for (const std::size_t n : { limit, limit + 1 }) {
+            std::vector<DetectionEvent> events;
+            std::set<std::size_t> picked;
+            while (picked.size() < n)
+                picked.insert(rng.uniformInt(zs.size()));
+            for (std::size_t k : picked)
+                events.push_back(DetectionEvent{
+                    rng.uniformInt(3), zs[k], SiteType::ZAncilla});
+
+            const MatchingResult got = boundary.matchEvents(events);
+            const MatchingResult ref = reference.matchEvents(events);
+            EXPECT_TRUE(matchesCoverAllEvents(got, n))
+                << "trial " << trial << " n=" << n;
+            EXPECT_TRUE(matchesCoverAllEvents(ref, n))
+                << "trial " << trial << " n=" << n;
+            if (n <= limit)
+                EXPECT_EQ(got.totalWeight, ref.totalWeight)
+                    << "trial " << trial << ": exact side of the "
+                    << "boundary must be optimal";
+            else
+                EXPECT_GE(got.totalWeight, ref.totalWeight)
+                    << "trial " << trial << ": greedy side may not "
+                    << "beat the optimum";
+        }
     }
 }
 

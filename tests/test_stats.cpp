@@ -48,6 +48,39 @@ TEST(Stats, HistogramMeanAndStddev)
     EXPECT_DOUBLE_EQ(h.maxSample(), 30.0);
 }
 
+TEST(Stats, HistogramStddevStableForLargeOffsets)
+{
+    // Regression for the naive E[x^2] - E[x]^2 formulation: with a
+    // mean of 1e9 and unit spread, the two terms agree to ~18
+    // significant digits and their difference is pure cancellation
+    // noise (the old code returned 0, or NaN from a negative
+    // variance). The Welford running moments must recover stddev 1.
+    StatGroup g("g");
+    Histogram &h = g.histogram("lat", "latency", 0, 2e9, 10);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(1e9 + ((i % 2 == 0) ? 1.0 : -1.0));
+    EXPECT_NEAR(h.mean(), 1e9, 1e-3);
+    EXPECT_NEAR(h.stddev(), 1.0, 1e-6);
+}
+
+TEST(Stats, HistogramWeightedSamplesMatchRepeated)
+{
+    // sample(v, count) must produce the same moments as count
+    // individual sample(v) calls.
+    StatGroup g("g");
+    Histogram &a = g.histogram("a", "", 0, 100, 10);
+    Histogram &b = g.histogram("b", "", 0, 100, 10);
+    for (int i = 0; i < 7; ++i)
+        a.sample(12.5);
+    for (int i = 0; i < 3; ++i)
+        a.sample(87.5);
+    b.sample(12.5, 7);
+    b.sample(87.5, 3);
+    EXPECT_EQ(a.samples(), b.samples());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_NEAR(a.stddev(), b.stddev(), 1e-12);
+}
+
 TEST(Stats, HistogramClampsOutOfRangeSamples)
 {
     StatGroup g("g");

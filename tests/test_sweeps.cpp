@@ -8,11 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <tuple>
 
 #include "core/mce.hpp"
 #include "core/microcode.hpp"
 #include "core/system.hpp"
+#include "decode/cluster_decoder.hpp"
+#include "qecc/extractor.hpp"
+#include "sim/parallel.hpp"
 #include "workloads/estimator.hpp"
 
 namespace {
@@ -185,5 +191,111 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Technology::ExperimentalS,
                                          Technology::ProjectedD),
                        ::testing::Values(1e-3, 1e-4, 1e-5)));
+
+// ---------------------------------------------------------------
+// Parallel Monte-Carlo determinism: a full decoder sweep must be
+// byte-identical for any thread count (the sim/parallel.hpp
+// contract, exercised here on the real simulation stack rather
+// than synthetic bodies as in test_parallel.cpp).
+// ---------------------------------------------------------------
+
+/** Per-trial witness; two uint64 fields, so no padding to memcmp. */
+struct SweepOutcome
+{
+    std::uint64_t weight = 0;
+    std::uint64_t flipHash = 0;
+    bool operator==(const SweepOutcome &) const = default;
+};
+
+std::uint64_t
+hashFlips(std::uint64_t h, const std::vector<std::size_t> &flips)
+{
+    for (std::size_t q : flips)
+        h = (h ^ std::uint64_t(q)) * 0x100000001B3ull;
+    return h;
+}
+
+/** One complete noisy-memory sweep at the given degree of parallelism. */
+std::vector<SweepOutcome>
+runDecoderSweep(std::size_t threads)
+{
+    sim::ThreadPool pool(threads);
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(5);
+    const qecc::RoundSchedule schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(Protocol::Steane));
+    const qecc::SyndromeExtractor extractor(schedule);
+    const decode::MwpmDecoder exact(lattice, 12);
+    const decode::ClusterDecoder cluster(lattice);
+
+    constexpr std::uint64_t trials = 96;
+    return sim::parallelMap<SweepOutcome>(pool, trials,
+        [&](std::uint64_t t) {
+            sim::Rng rng = sim::Rng::substream(0xBADA55, t);
+            quantum::ErrorChannel channel(
+                quantum::ErrorRates{2e-3, 0, 0, 0, 2e-3}, rng);
+            quantum::PauliFrame frame(lattice.numQubits());
+            auto history = extractor.runRounds(frame, &channel, 3);
+            history.push_back(extractor.runRound(frame, nullptr));
+            const auto events =
+                decode::extractDetectionEvents(history, extractor);
+
+            SweepOutcome out;
+            const decode::Correction mw = exact.decode(events);
+            const decode::Correction cl = cluster.decode(events);
+            out.weight = mw.weight() + (cl.weight() << 32);
+            out.flipHash = hashFlips(
+                hashFlips(hashFlips(hashFlips(0xCBF29CE484222325ull,
+                    mw.xFlips), mw.zFlips), cl.xFlips), cl.zFlips);
+            return out;
+        }, /*chunk=*/5);
+}
+
+TEST(ParallelSweep, DecoderSweepByteIdenticalAcrossThreadCounts)
+{
+    const std::vector<SweepOutcome> base = runDecoderSweep(1);
+    ASSERT_EQ(base.size(), 96u);
+    for (std::size_t threads : {2, 5}) {
+        const std::vector<SweepOutcome> got = runDecoderSweep(threads);
+        ASSERT_EQ(got.size(), base.size()) << threads << " threads";
+        EXPECT_EQ(got, base) << threads << " threads";
+        EXPECT_EQ(0, std::memcmp(got.data(), base.data(),
+                                 base.size() * sizeof(SweepOutcome)))
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelSweep, ReducedErrorRateBitIdenticalAcrossThreadCounts)
+{
+    // The reduction path (floating-point accumulation) must also be
+    // association-stable, not just the per-trial map outputs.
+    const auto rate = [](std::size_t threads) {
+        sim::ThreadPool pool(threads);
+        const qecc::Lattice lattice = qecc::Lattice::forDistance(5);
+        const qecc::RoundSchedule schedule = qecc::buildRoundSchedule(
+            lattice, qecc::protocolSpec(Protocol::Steane));
+        const qecc::SyndromeExtractor extractor(schedule);
+        const decode::MwpmDecoder greedy(lattice, 0);
+        constexpr std::uint64_t trials = 64;
+        const double sum = sim::parallelReduce(pool, trials, 0.0,
+            [&](std::uint64_t t) {
+                sim::Rng rng = sim::Rng::substream(77, t);
+                quantum::ErrorChannel channel(
+                    quantum::ErrorRates{3e-3, 0, 0, 0, 3e-3}, rng);
+                quantum::PauliFrame frame(lattice.numQubits());
+                auto history = extractor.runRounds(frame, &channel, 3);
+                history.push_back(extractor.runRound(frame, nullptr));
+                const auto corr = greedy.decode(
+                    decode::extractDetectionEvents(history, extractor));
+                return double(corr.weight()) * 1e-3 + 1e-9;
+            },
+            [](double a, double b) { return a + b; }, /*chunk=*/3);
+        return sum / double(trials);
+    };
+    const double expected = rate(1);
+    for (std::size_t threads : {2, 4})
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(rate(threads)),
+                  std::bit_cast<std::uint64_t>(expected))
+            << threads << " threads";
+}
 
 } // namespace
