@@ -15,9 +15,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
 #include "sim/table.hpp"
 
 namespace quest::bench {
@@ -30,6 +33,26 @@ emit(const sim::Table &table)
     std::cout << "--- CSV ---\n";
     table.printCsv(std::cout);
     std::cout << std::endl;
+}
+
+/**
+ * Dump the global metrics registry as a BENCH_*.json artifact: the
+ * figure benches record their plotted series (and the cycle
+ * accounting the run accumulated) as registry entries, so the JSON
+ * carries both the paper numbers and the breakdown behind them.
+ */
+inline void
+writeMetricsJson(const std::string &bench, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"metrics\": ";
+    quest::sim::metricsWriteJson(os);
+    os << "\n}\n";
+    std::cout << "wrote " << path << "\n";
 }
 
 /**

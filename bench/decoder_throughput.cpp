@@ -31,6 +31,7 @@
 #include "decode/cluster_decoder.hpp"
 #include "qecc/extractor.hpp"
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
 #include "sim/table.hpp"
 
@@ -180,6 +181,9 @@ main(int argc, char **argv)
     }
     if (trials == 0)
         trials = smoke ? 64 : 1024;
+    // Start the cycle-accounting section of the output JSON from a
+    // clean registry so it reflects this run only.
+    sim::metrics::Registry::global().reset();
     sim::ThreadPool pool(threads ? threads
                                  : sim::ThreadPool::defaultThreads());
     sim::ThreadPool serial(1);
@@ -260,7 +264,9 @@ main(int argc, char **argv)
            << (r.deterministic ? "true" : "false") << "\n  }"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n  \"metrics\": ";
+    sim::metricsWriteJson(os);
+    os << "\n}\n";
     std::cout << "\nwrote " << out_path << "\n";
     return 0;
 }

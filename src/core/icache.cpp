@@ -1,6 +1,8 @@
 #include "icache.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 #include "tech/parameters.hpp"
 
 namespace quest::core {
@@ -41,6 +43,16 @@ ICacheAccess
 LogicalInstructionCache::execute(std::uint32_t block_id,
                                  const isa::LogicalTrace &body)
 {
+    QUEST_TRACE_SCOPE("mce", "icache_execute");
+    auto &registry = sim::metrics::Registry::global();
+    static auto &hit_count = registry.counter(
+        "mce.icache.hits", "logical instruction-cache hits");
+    static auto &miss_count = registry.counter(
+        "mce.icache.misses", "logical instruction-cache misses");
+    static auto &bus_bytes = registry.counter(
+        "mce.icache.bus_bytes",
+        "global bus bytes spent on logical-block delivery");
+
     ICacheAccess out;
     out.instructions = body.size();
 
@@ -49,6 +61,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
         out.bytesFetched = body.bytes();
         _busBytes += double(out.bytesFetched);
         ++_misses;
+        ++miss_count;
+        bus_bytes += out.bytesFetched;
         return out;
     }
 
@@ -58,6 +72,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
         out.bytesFetched = replayTokenBytes;
         _busBytes += double(replayTokenBytes);
         ++_hits;
+        ++hit_count;
+        bus_bytes += replayTokenBytes;
         return out;
     }
 
@@ -65,6 +81,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
     out.bytesFetched = body.bytes();
     _busBytes += double(out.bytesFetched);
     ++_misses;
+    ++miss_count;
+    bus_bytes += out.bytesFetched;
 
     if (body.size() <= _capacity) {
         evictUntilFits(body.size());

@@ -1,6 +1,8 @@
 #include "master_controller.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 #include "tech/parameters.hpp"
 
 namespace quest::core {
@@ -138,6 +140,16 @@ MasterController::MasterController(const MasterConfig &cfg)
                             return _network.protocolOverheadBytes();
                         });
     _stats.addChild(_faultStats);
+    // The whole stat tree (bus categories, per-MCE groups, network,
+    // faults) becomes visible through the global metrics registry:
+    // metricsSnapshot() reports "master.*" rows alongside the
+    // registry's own counters.
+    sim::metrics::Registry::global().attachGroup(_stats);
+}
+
+MasterController::~MasterController()
+{
+    sim::metrics::Registry::global().detachGroup(_stats);
 }
 
 std::size_t
@@ -263,6 +275,7 @@ MasterController::injectRoundFaults()
 void
 MasterController::stepRound()
 {
+    QUEST_TRACE_SCOPE("master", "step_round");
     if (_faults.enabled())
         injectRoundFaults();
     for (auto &m : _mces)
@@ -282,6 +295,7 @@ MasterController::stepRound()
 void
 MasterController::heartbeatNow()
 {
+    QUEST_TRACE_SCOPE("master", "heartbeat");
     for (std::size_t i = 0; i < _mces.size(); ++i) {
         ++_heartbeats;
         sendOnBus(i, heartbeatBytes, _bytesSync);
@@ -317,6 +331,7 @@ MasterController::quarantineAndResync(std::size_t mce_idx)
 void
 MasterController::scrubNow()
 {
+    QUEST_TRACE_SCOPE("master", "scrub");
     for (std::size_t i = 0; i < _mces.size(); ++i) {
         sendOnBus(i, scrubPollBytes, _bytesScrub);
         MicrocodeStore &store = _mces[i]->microcodeStore();
@@ -333,6 +348,7 @@ MasterController::scrubNow()
 void
 MasterController::decodeTile(std::size_t mce_idx)
 {
+    QUEST_TRACE_SCOPE("master", "decode_tile");
     const decode::DetectionEvents residual =
         _mces[mce_idx]->collectResidualEvents();
     if (residual.total() == 0)

@@ -87,6 +87,9 @@ class MasterController
   public:
     explicit MasterController(const MasterConfig &cfg);
 
+    /** Detaches the stat tree from the global metrics registry. */
+    ~MasterController();
+
     std::size_t numMces() const { return _mces.size(); }
     Mce &mce(std::size_t i) { return *_mces.at(i); }
     const Mce &mce(std::size_t i) const { return *_mces.at(i); }

@@ -6,6 +6,8 @@
 #include "qecc/schedule.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace quest::core {
 
@@ -155,6 +157,11 @@ Mce::applyTransverse(LogicalOpcode op, const LogicalQubit &lq)
 void
 Mce::executeLogical(const LogicalInstr &instr)
 {
+    QUEST_TRACE_SCOPE("mce", "logical_instr");
+    static auto &logical_instrs = sim::metrics::Registry::global()
+        .counter("mce.pipeline.logical_instrs",
+                 "logical instructions entering the MCE pipeline");
+    ++logical_instrs;
     if (instr.opcode == LogicalOpcode::Nop
         || instr.opcode == LogicalOpcode::SyncToken)
         return;
@@ -303,7 +310,24 @@ Mce::stretchNoise(double factor, std::size_t rounds)
 const qecc::SyndromeRound &
 Mce::runQeccRound()
 {
+    QUEST_TRACE_SCOPE("mce", "qecc_round");
+    auto &registry = sim::metrics::Registry::global();
+    static auto &rounds = registry.counter(
+        "mce.replay.rounds", "QECC rounds replayed from microcode");
+    static auto &uops = registry.counter(
+        "mce.replay.uops", "non-Nop uops streamed per replay");
+    static auto &ucode_bits = registry.counter(
+        "mce.replay.microcode_bits",
+        "bits read out of the local microcode memory");
+    static auto &hung_rounds = registry.counter(
+        "mce.replay.hung_rounds",
+        "rounds skipped because the engine was wedged");
+    static auto &seu_errors = registry.counter(
+        "mce.replay.seu_uop_errors",
+        "stray errors replayed from SEU-corrupted words");
+
     if (_hung) {
+        ++hung_rounds;
         // A wedged engine streams nothing: the tile idles
         // uncorrected and decoheres for the round. No syndrome is
         // extracted (nothing read the ancillas), so the errors
@@ -344,6 +368,7 @@ Mce::runQeccRound()
             _frame.injectX(_lattice->index(
                 data[placement.uniformInt(data.size())]));
             ++_seuUopErrors;
+            ++seu_errors;
         }
     }
 
@@ -355,22 +380,27 @@ Mce::runQeccRound()
     const MicrocodeModel model(sched.spec(), _cfg.technology);
     const std::size_t uop_bits =
         model.uopBits(_cfg.microcodeDesign, n);
+    std::uint64_t round_uops = 0;
     for (std::size_t s = 0; s < sched.depth(); ++s) {
         const SubCycle &sc = sched.subCycle(s);
         for (std::size_t q = 0; q < n; ++q) {
             _execUnit.latch(q, sc.uops[q]);
             if (sc.uops[q] != PhysOpcode::Nop)
-                ++_qeccUops;
+                ++round_uops;
         }
         _microcodeBits += double(n * uop_bits);
+        ucode_bits += std::uint64_t(n) * uop_bits;
         _execUnit.masterClock();
     }
+    _qeccUops += double(round_uops);
+    uops += round_uops;
 
     // Functional effect: evolve the frame and read the syndromes.
     _lastRound = _extractor->runRound(_frame, &_channel);
     _window.push_back(_lastRound);
     ++_roundsRun;
     ++_roundsStat;
+    ++rounds;
 
     if (_stretchRounds > 0 && --_stretchRounds == 0)
         _channel.setRates(_cfg.errorRates);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
 
 namespace quest::core {
 
@@ -149,6 +150,10 @@ std::size_t
 MicrocodeStore::flipRandomBit(sim::Rng &rng)
 {
     QUEST_ASSERT(_bits > 0, "SEU in an empty microcode store");
+    static auto &seu_flips = sim::metrics::Registry::global().counter(
+        "mce.microcode.seu_flips",
+        "single-event upsets injected into microcode stores");
+    ++seu_flips;
     const std::size_t bit = rng.uniformInt(_bits);
     const std::size_t word = bit / _wordBits;
     // Parity sees the word's flip count modulo two.
@@ -174,10 +179,19 @@ MicrocodeStore::silentBits() const
 std::size_t
 MicrocodeStore::repair()
 {
+    auto &registry = sim::metrics::Registry::global();
+    static auto &repairs = registry.counter(
+        "mce.microcode.repairs", "microcode image scrub rewrites");
+    static auto &repair_bytes = registry.counter(
+        "mce.microcode.repair_bytes",
+        "bytes rewritten by microcode scrubbing");
+    ++repairs;
     std::fill(_flipsPerWord.begin(), _flipsPerWord.end(), 0);
     _flipped = 0;
     _oddWords = 0;
-    return imageBytes();
+    const std::size_t bytes = imageBytes();
+    repair_bytes += bytes;
+    return bytes;
 }
 
 } // namespace quest::core

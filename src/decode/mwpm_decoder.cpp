@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace quest::decode {
 
@@ -437,14 +439,45 @@ MwpmDecoder::matchEvents(const std::vector<DetectionEvent> &events) const
 {
     if (events.empty())
         return {};
-    if (events.size() <= _exactLimit)
-        return matchExact(events);
-    return matchGreedy(events);
+    // Cycle accounting: which matcher ran, over how many events and
+    // at what matched weight. Integer counters only, so concurrent
+    // decodes from the Monte-Carlo sweeps accumulate
+    // deterministically.
+    auto &registry = sim::metrics::Registry::global();
+    static auto &exact_calls = registry.counter(
+        "decode.mwpm.exact_matchings",
+        "event sets decoded by the exact bitmask DP");
+    static auto &greedy_calls = registry.counter(
+        "decode.mwpm.greedy_matchings",
+        "event sets decoded by the greedy matcher");
+    static auto &matched_events = registry.counter(
+        "decode.mwpm.events_matched",
+        "detection events fed into the matchers");
+    static auto &matched_weight = registry.counter(
+        "decode.mwpm.matched_weight",
+        "total space-time weight of accepted matchings");
+    matched_events += events.size();
+    MatchingResult mr;
+    if (events.size() <= _exactLimit) {
+        QUEST_TRACE_SCOPE("decode", "mwpm_exact");
+        ++exact_calls;
+        mr = matchExact(events);
+    } else {
+        QUEST_TRACE_SCOPE("decode", "mwpm_greedy");
+        ++greedy_calls;
+        mr = matchGreedy(events);
+    }
+    matched_weight += mr.totalWeight;
+    return mr;
 }
 
 Correction
 MwpmDecoder::decode(const DetectionEvents &events) const
 {
+    QUEST_TRACE_SCOPE("decode", "mwpm_decode");
+    static auto &decodes = sim::metrics::Registry::global().counter(
+        "decode.mwpm.decodes", "calls to MwpmDecoder::decode");
+    ++decodes;
     Correction out;
     Scratch &s = scratch();
 

@@ -16,7 +16,9 @@
 
 #include "lut_decoder.hpp"
 #include "mwpm_decoder.hpp"
+#include "sim/metrics.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace quest::decode {
@@ -107,6 +109,18 @@ class DecoderPipeline
     Correction
     decode(const DetectionEvents &events)
     {
+        QUEST_TRACE_SCOPE("decode", "pipeline_decode");
+        auto &registry = sim::metrics::Registry::global();
+        static auto &events_local = registry.counter(
+            "decode.pipeline.events_local",
+            "events resolved by the MCE-local LUT decoder");
+        static auto &events_global = registry.counter(
+            "decode.pipeline.events_global",
+            "residual events escalated to the global decoder");
+        static auto &bus_bytes = registry.counter(
+            "decode.pipeline.syndrome_bus_bytes",
+            "syndrome bytes crossing the global bus");
+
         _eventsTotal += double(events.total());
 
         LocalDecodeResult local = _local.decodeLocal(events);
@@ -114,6 +128,9 @@ class DecoderPipeline
         _eventsGlobal += double(local.residual.total());
         _busBytes += double(local.residual.total()
                             * detectionEventBytes);
+        events_local += local.resolvedEvents;
+        events_global += local.residual.total();
+        bus_bytes += local.residual.total() * detectionEventBytes;
 
         Correction corr = local.correction;
         corr.merge(_global.decode(local.residual));

@@ -1,30 +1,45 @@
 #include "event_queue.hpp"
 
 #include "logging.hpp"
+#include "metrics.hpp"
+#include "trace.hpp"
 
 namespace quest::sim {
 
 void
-EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
+                     const char *label)
 {
     QUEST_ASSERT(when >= _now,
                  "event scheduled in the past (when=%llu, now=%llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_now));
-    _heap.push(Entry{when, prio, _nextSeq++, std::move(cb)});
+    static metrics::Counter &scheduled =
+        metrics::Registry::global().counter(
+            "sim.queue.scheduled", "events entered into any queue");
+    ++scheduled;
+    _heap.push(Entry{when, prio, _nextSeq++, std::move(cb), label});
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    static metrics::Counter &executed_total =
+        metrics::Registry::global().counter(
+            "sim.queue.executed", "events dispatched by any queue");
     std::uint64_t executed = 0;
     while (!_heap.empty() && _heap.top().when <= limit) {
         Entry e = _heap.top();
         _heap.pop();
         _now = e.when;
-        e.cb();
+        {
+            QUEST_TRACE_SCOPE("sim.queue", e.label);
+            e.cb();
+        }
+        ++_dispatched[e.label];
         ++executed;
     }
+    executed_total += executed;
     // Time advances to the horizon we simulated up to, even when
     // later events remain pending.
     if (limit != maxTick && limit > _now)
@@ -47,6 +62,7 @@ EventQueue::clear()
     _heap = {};
     _now = 0;
     _nextSeq = 0;
+    _dispatched.clear();
 }
 
 } // namespace quest::sim

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <string>
 #include <vector>
@@ -51,15 +52,23 @@ class EventQueue
      * @param when Absolute tick; must be >= now().
      * @param cb Callback to run.
      * @param prio Tie-break priority within the tick.
+     * @param label Dispatch-attribution tag: executed events are
+     *        counted per label (see dispatchCounts()) and traced as
+     *        "sim.queue:<label>" scopes, so a Chrome trace of a run
+     *        shows where the event loop's time went. Must point to
+     *        storage outliving the event (string literals).
      */
     void schedule(Tick when, Callback cb,
-                  EventPriority prio = defaultPriority);
+                  EventPriority prio = defaultPriority,
+                  const char *label = "event");
 
     /** Schedule a callback `delay` ticks in the future. */
     void
-    scheduleIn(Tick delay, Callback cb, EventPriority prio = defaultPriority)
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = defaultPriority,
+               const char *label = "event")
     {
-        schedule(_now + delay, std::move(cb), prio);
+        schedule(_now + delay, std::move(cb), prio, label);
     }
 
     /**
@@ -76,6 +85,18 @@ class EventQueue
     /** Drop all pending events (used between test cases). */
     void clear();
 
+    /**
+     * Executed-event counts per schedule() label — the dispatch
+     * attribution consumed by the metrics layer and the golden-
+     * trace tests. A pure function of the executed schedule, so
+     * deterministic run to run.
+     */
+    const std::map<std::string, std::uint64_t> &
+    dispatchCounts() const
+    {
+        return _dispatched;
+    }
+
   private:
     struct Entry
     {
@@ -83,6 +104,7 @@ class EventQueue
         EventPriority prio;
         std::uint64_t seq;
         Callback cb;
+        const char *label;
     };
 
     /**
@@ -109,6 +131,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
+    std::map<std::string, std::uint64_t> _dispatched;
 };
 
 } // namespace quest::sim

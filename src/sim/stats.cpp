@@ -1,7 +1,9 @@
 #include "stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 
 #include "logging.hpp"
 
@@ -24,6 +26,12 @@ void
 Scalar::print(std::ostream &os) const
 {
     printLine(os, name(), _value, description());
+}
+
+void
+Scalar::visitValues(const ValueVisitor &emit) const
+{
+    emit(name(), _value);
 }
 
 double
@@ -51,6 +59,17 @@ Vector::reset()
 {
     for (double &v : _values)
         v = 0.0;
+}
+
+void
+Vector::visitValues(const ValueVisitor &emit) const
+{
+    for (std::size_t i = 0; i < _values.size(); ++i) {
+        const std::string sub = i < _subnames.size()
+            ? _subnames[i] : std::to_string(i);
+        emit(name() + "::" + sub, _values[i]);
+    }
+    emit(name() + "::total", total());
 }
 
 Histogram::Histogram(std::string name, std::string desc, double min,
@@ -105,6 +124,44 @@ Histogram::stddev() const
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
+double
+Histogram::emptySentinel()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+Histogram::percentile(double q) const
+{
+    // Every path below is bounds-checked against the bucket array;
+    // the empty case short-circuits to the sentinel so no caller
+    // can be handed an out-of-range read.
+    if (_samples == 0)
+        return emptySentinel();
+    if (_samples == 1)
+        return _minSample;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = std::uint64_t(
+        std::max(1.0, std::ceil(q * double(_samples))));
+    const double span = _max - _min;
+    const double bucket_width = span / double(_buckets.size());
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        if (seen + _buckets[i] >= rank) {
+            // Interpolate within the bucket by sample rank.
+            const double lo = _min + bucket_width * double(i);
+            const double frac = double(rank - seen)
+                / double(_buckets[i]);
+            const double v = lo + bucket_width * frac;
+            return std::clamp(v, _minSample, _maxSample);
+        }
+        seen += _buckets[i];
+    }
+    return _maxSample;
+}
+
 void
 Histogram::print(std::ostream &os) const
 {
@@ -119,6 +176,16 @@ Histogram::print(std::ostream &os) const
         printLine(os, name() + "::bucket[" + std::to_string(lo) + "]",
                   double(_buckets[i]), description());
     }
+}
+
+void
+Histogram::visitValues(const ValueVisitor &emit) const
+{
+    emit(name() + "::samples", double(_samples));
+    emit(name() + "::mean", mean());
+    emit(name() + "::stddev", stddev());
+    emit(name() + "::min", _samples ? _minSample : 0.0);
+    emit(name() + "::max", _samples ? _maxSample : 0.0);
 }
 
 void
@@ -137,6 +204,12 @@ void
 Formula::print(std::ostream &os) const
 {
     printLine(os, name(), value(), description());
+}
+
+void
+Formula::visitValues(const ValueVisitor &emit) const
+{
+    emit(name(), value());
 }
 
 Scalar &
@@ -197,6 +270,15 @@ StatGroup::dump(std::ostream &os) const
         s->print(os);
     for (const StatGroup *child : _children)
         child->dump(os);
+}
+
+void
+StatGroup::visitValues(const StatBase::ValueVisitor &emit) const
+{
+    for (const auto &s : _stats)
+        s->visitValues(emit);
+    for (const StatGroup *child : _children)
+        child->visitValues(emit);
 }
 
 void

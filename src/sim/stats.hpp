@@ -39,6 +39,18 @@ class StatBase
     /** Write one or more "name value # desc" lines. */
     virtual void print(std::ostream &os) const = 0;
 
+    /** Visitor for "flat name, value" pairs. */
+    using ValueVisitor =
+        std::function<void(const std::string &, double)>;
+
+    /**
+     * Emit every value this stat exposes (a Scalar emits one pair,
+     * a Vector one per bucket plus the total, ...). This is how the
+     * metrics registry (metrics.hpp) folds attached StatGroups into
+     * its snapshots.
+     */
+    virtual void visitValues(const ValueVisitor &emit) const = 0;
+
     /** Reset to the zero state. */
     virtual void reset() = 0;
 
@@ -59,6 +71,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void print(std::ostream &os) const override;
+    void visitValues(const ValueVisitor &emit) const override;
     void reset() override { _value = 0.0; }
 
   private:
@@ -85,6 +98,7 @@ class Vector : public StatBase
     double total() const;
 
     void print(std::ostream &os) const override;
+    void visitValues(const ValueVisitor &emit) const override;
     void reset() override;
 
   private:
@@ -112,7 +126,22 @@ class Histogram : public StatBase
         return _buckets.at(i);
     }
 
+    /**
+     * The q-quantile (q in [0, 1]) interpolated within the bucket
+     * holding the ceil(q * samples)-th sample, clamped to the
+     * observed [minSample, maxSample] range.
+     *
+     * Defined for every histogram state — no unchecked indexing:
+     * an empty histogram returns the NaN sentinel (emptySentinel())
+     * and a single-sample histogram returns that sample for all q.
+     */
+    double percentile(double q) const;
+
+    /** The defined result of percentile() on an empty histogram. */
+    static double emptySentinel();
+
     void print(std::ostream &os) const override;
+    void visitValues(const ValueVisitor &emit) const override;
     void reset() override;
 
   private:
@@ -142,6 +171,7 @@ class Formula : public StatBase
     double value() const { return _fn ? _fn() : 0.0; }
 
     void print(std::ostream &os) const override;
+    void visitValues(const ValueVisitor &emit) const override;
     void reset() override {}
 
   private:
@@ -176,6 +206,9 @@ class StatGroup
 
     /** Dump this group and all children. */
     void dump(std::ostream &os) const;
+
+    /** Visit every value in this group and all children. */
+    void visitValues(const StatBase::ValueVisitor &emit) const;
 
     /** Reset this group and all children. */
     void resetAll();

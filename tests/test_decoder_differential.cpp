@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Differential test: exact bitmask-DP matching vs the greedy
+ * fallback, exhaustively over all single-round detection-event sets
+ * of weight <= 4 on the d=3 and d=5 lattices.
+ *
+ * The exact matcher is optimal by construction, so its total
+ * matching weight lower-bounds the greedy matcher's on every input;
+ * any case where greedy beats exact is an exact-matcher bug, and
+ * any case where greedy exceeds exact is a (tolerated, counted)
+ * approximation gap. Both outcomes are reported through the metrics
+ * registry so the bench JSONs can track the greedy gap over time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "decode/mwpm_decoder.hpp"
+#include "qecc/lattice.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace quest;
+using decode::DetectionEvent;
+using decode::MatchingResult;
+using decode::MwpmDecoder;
+
+/** All detection-event subsets of `ancillas` with size <= max_w. */
+void
+forEachSubset(const std::vector<DetectionEvent> &ancillas,
+              std::size_t max_w,
+              const std::function<
+                  void(const std::vector<DetectionEvent> &)> &fn)
+{
+    const std::size_t n = ancillas.size();
+    std::vector<std::size_t> pick;
+    // Depth-first enumeration of index combinations up to max_w.
+    std::function<void(std::size_t)> rec = [&](std::size_t start) {
+        if (!pick.empty()) {
+            std::vector<DetectionEvent> subset;
+            subset.reserve(pick.size());
+            for (std::size_t idx : pick)
+                subset.push_back(ancillas[idx]);
+            fn(subset);
+        }
+        if (pick.size() == max_w)
+            return;
+        for (std::size_t i = start; i < n; ++i) {
+            pick.push_back(i);
+            rec(i + 1);
+            pick.pop_back();
+        }
+    };
+    rec(0);
+}
+
+void
+runDifferential(std::size_t distance)
+{
+    const qecc::Lattice lattice =
+        qecc::Lattice::forDistance(distance);
+
+    // Exact limit >= 4 forces the DP; limit 0 forces greedy.
+    const MwpmDecoder exact(lattice, MwpmDecoder::maxExactLimit);
+    const MwpmDecoder greedy(lattice, 0);
+
+    std::vector<DetectionEvent> ancillas;
+    for (const qecc::Coord c :
+         lattice.sites(qecc::SiteType::ZAncilla)) {
+        DetectionEvent e;
+        e.round = 0;
+        e.ancilla = c;
+        e.type = qecc::SiteType::ZAncilla;
+        ancillas.push_back(e);
+    }
+    ASSERT_FALSE(ancillas.empty());
+
+    auto &registry = sim::metrics::Registry::global();
+    auto &cases = registry.counter(
+        "decode.differential.cases",
+        "syndrome sets compared exact vs greedy");
+    auto &gaps = registry.counter(
+        "decode.differential.greedy_gaps",
+        "sets where greedy matched at higher weight than exact");
+    auto &gap_weight = registry.counter(
+        "decode.differential.gap_weight",
+        "total extra weight greedy paid over exact");
+
+    // A matching covers 2 events per pair, 1 per boundary match.
+    const auto covered = [](const MatchingResult &mr) {
+        std::size_t n = 0;
+        for (const decode::Match &m : mr.matches)
+            n += m.toBoundary ? 1 : 2;
+        return n;
+    };
+
+    std::size_t violations = 0;
+    forEachSubset(ancillas, 4, [&](const std::vector<DetectionEvent>
+                                       &subset) {
+        const MatchingResult e = exact.matchEvents(subset);
+        const MatchingResult g = greedy.matchEvents(subset);
+        ++cases;
+
+        // Every event must be matched by both algorithms.
+        EXPECT_EQ(covered(e), subset.size())
+            << "exact left events unmatched on a " << subset.size()
+            << "-event set (d=" << distance << ")";
+        EXPECT_EQ(covered(g), subset.size())
+            << "greedy left events unmatched on a " << subset.size()
+            << "-event set (d=" << distance << ")";
+
+        // Optimality: exact never pays more than greedy.
+        if (e.totalWeight > g.totalWeight)
+            ++violations;
+        if (g.totalWeight > e.totalWeight) {
+            ++gaps;
+            gap_weight += g.totalWeight - e.totalWeight;
+        }
+    });
+    EXPECT_EQ(violations, 0u)
+        << "exact matcher produced a heavier matching than greedy "
+           "(optimality bug) on d=" << distance;
+    EXPECT_GT(cases.value(), 0u);
+}
+
+TEST(DecoderDifferential, ExactIsOptimalOnD3WeightUpTo4)
+{
+    runDifferential(3);
+}
+
+TEST(DecoderDifferential, ExactIsOptimalOnD5WeightUpTo4)
+{
+    runDifferential(5);
+}
+
+TEST(DecoderDifferential, GapStatisticsAreReported)
+{
+    sim::metrics::Registry::global().reset();
+    runDifferential(3);
+    const std::string snap = sim::metricsSnapshot();
+    EXPECT_NE(snap.find("decode.differential.cases"),
+              std::string::npos);
+    EXPECT_NE(snap.find("decode.differential.greedy_gaps"),
+              std::string::npos);
+}
+
+} // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
 #include <sstream>
 
 #include "sim/stats.hpp"
@@ -142,6 +144,83 @@ TEST(Stats, FindLocatesStatByName)
     EXPECT_NE(g.find("x"), nullptr);
     EXPECT_NE(g.find("g.x"), nullptr);
     EXPECT_EQ(g.find("y"), nullptr);
+}
+
+TEST(Stats, HistogramPercentileEmptyReturnsSentinel)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "", 0, 100, 10);
+    // The UB this guards: the old percentile walked the bucket
+    // array unconditionally; on an empty histogram it must instead
+    // return the documented sentinel without touching any bucket.
+    EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(h.percentile(1.0)));
+    EXPECT_TRUE(std::isnan(Histogram::emptySentinel()));
+}
+
+TEST(Stats, HistogramPercentileSingleSampleIsThatSample)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "", 0, 100, 10);
+    h.sample(42.0);
+    for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 42.0) << "q=" << q;
+}
+
+TEST(Stats, HistogramPercentileIsMonotoneAndClamped)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "", 0, 100, 10);
+    for (int v = 10; v <= 90; v += 10)
+        h.sample(double(v));
+    double prev = h.percentile(0.0);
+    for (double q = 0.1; q <= 1.0; q += 0.1) {
+        const double cur = h.percentile(q);
+        EXPECT_GE(cur, prev) << "q=" << q;
+        prev = cur;
+    }
+    // Clamped to the observed sample range, not the bucket range.
+    EXPECT_GE(h.percentile(0.0), 10.0);
+    EXPECT_LE(h.percentile(1.0), 90.0);
+    // Out-of-range q clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Stats, HistogramPercentileResetReturnsToSentinel)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "", 0, 100, 10);
+    h.sample(50.0);
+    EXPECT_FALSE(std::isnan(h.percentile(0.5)));
+    h.reset();
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+}
+
+TEST(Stats, VisitValuesCoversScalarsVectorsAndChildren)
+{
+    StatGroup g("g");
+    Scalar &s = g.scalar("s", "");
+    s += 3;
+    Vector &v = g.vector("v", "", 2);
+    v.subnames({"a", "b"});
+    v[0] += 1;
+    v[1] += 2;
+    StatGroup child("g.c");
+    Scalar &cs = child.scalar("cs", "");
+    cs += 7;
+    g.addChild(child);
+
+    std::map<std::string, double> seen;
+    g.visitValues([&](const std::string &name, double value) {
+        seen[name] = value;
+    });
+    EXPECT_DOUBLE_EQ(seen.at("g.s"), 3.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.v::a"), 1.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.v::b"), 2.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.v::total"), 3.0);
+    EXPECT_DOUBLE_EQ(seen.at("g.c.cs"), 7.0);
 }
 
 } // namespace

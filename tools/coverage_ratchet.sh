@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+#
+# Line-coverage ratchet: measure gcov line coverage for each scope
+# listed in the baseline file and fail if any scope fell below its
+# recorded floor. Raise a floor when coverage genuinely improves;
+# never lower one to make CI pass.
+#
+# Usage: tools/coverage_ratchet.sh <coverage-build-dir> [baseline]
+#
+# The build directory must have been configured with
+# -DQUEST_COVERAGE=ON and the test suite run (ctest) so the .gcda
+# counters exist. Only gcov itself is required; the lcov HTML report
+# in CI is an optional extra artifact.
+set -euo pipefail
+
+build=${1:?usage: coverage_ratchet.sh <build-dir> [baseline-file]}
+baseline=${2:-"$(cd "$(dirname "$0")" && pwd)/coverage_baseline.txt"}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# One pass of gcov over every counter file; -n keeps it to the
+# stdout summary ("File '...'" / "Lines executed:P% of N" pairs).
+find "$build" -name '*.gcda' -print0 |
+    while IFS= read -r -d '' gcda; do
+        gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null || true
+    done > "$tmp/gcov.txt"
+
+if ! grep -q '^File ' "$tmp/gcov.txt"; then
+    echo "no gcov data found under $build" >&2
+    echo "(configure with -DQUEST_COVERAGE=ON and run ctest first)" >&2
+    exit 2
+fi
+
+status=0
+while read -r scope floor; do
+    [ -z "$scope" ] && continue
+    case "$scope" in \#*) continue ;; esac
+    pct=$(awk -v scope="$scope/" '
+        /^File /            { want = index($0, scope) > 0 }
+        /^Lines executed:/ && want {
+            split($0, a, /[:% ]+/)
+            covered += a[3] * a[5] / 100.0
+            total += a[5]
+            want = 0
+        }
+        END {
+            if (total == 0) print "0.0"
+            else printf "%.1f", 100.0 * covered / total
+        }' "$tmp/gcov.txt")
+    printf '%-12s %6s%% (floor %s%%)\n' "$scope" "$pct" "$floor"
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p + 0 < f + 0) }'
+    then
+        echo "FAIL: $scope line coverage $pct% is below the $floor%" \
+             "ratchet" >&2
+        status=1
+    fi
+done < "$baseline"
+exit $status

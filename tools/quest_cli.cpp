@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -27,7 +28,9 @@
 #include "decode/pipeline.hpp"
 #include "isa/trace.hpp"
 #include "qecc/extractor.hpp"
+#include "sim/metrics.hpp"
 #include "sim/table.hpp"
+#include "sim/trace.hpp"
 #include "workloads/estimator.hpp"
 
 namespace {
@@ -318,7 +321,51 @@ usage()
         "             [--fault-rate P] [--fault-seed S]\n"
         "             [--faults-report]\n"
         "  simulate   [--distance D] [--error-rate P] [--trials N]\n"
-        "             [--protocol S] [--seed S]");
+        "             [--protocol S] [--seed S]\n"
+        "\n"
+        "observability (any subcommand):\n"
+        "  --trace-out FILE    write a Chrome-trace JSON of the run\n"
+        "                      (open in Perfetto / chrome://tracing)\n"
+        "  --metrics-out FILE  write the metrics registry as JSON");
+}
+
+/**
+ * Write the --trace-out / --metrics-out artifacts after a
+ * subcommand finished. The tracer was enabled before dispatch when
+ * --trace-out was given; with a trace-disabled build the export is
+ * an empty trace and a note on stderr.
+ */
+void
+writeObservabilityOutputs(const Options &opts)
+{
+    if (opts.has("trace-out")) {
+        const std::string path = opts.get("trace-out", "trace.json");
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         path.c_str());
+        } else {
+            if (!sim::traceCompiledIn())
+                std::fprintf(stderr,
+                             "note: built with QUEST_TRACE=OFF; %s "
+                             "will be empty\n", path.c_str());
+            sim::Tracer::instance().exportChromeTrace(os);
+            std::fprintf(stderr, "wrote trace to %s\n", path.c_str());
+        }
+    }
+    if (opts.has("metrics-out")) {
+        const std::string path =
+            opts.get("metrics-out", "metrics.json");
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         path.c_str());
+        } else {
+            sim::metricsWriteJson(os);
+            std::fprintf(stderr, "wrote metrics to %s\n",
+                         path.c_str());
+        }
+    }
 }
 
 } // namespace
@@ -332,19 +379,26 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Options opts(argc, argv, 2);
+    if (opts.has("trace-out"))
+        sim::Tracer::instance().setEnabled(true);
     try {
+        int rc = 2;
         if (cmd == "estimate")
-            return cmdEstimate(opts);
-        if (cmd == "microcode")
-            return cmdMicrocode(opts);
-        if (cmd == "trace-gen")
-            return cmdTraceGen(opts);
-        if (cmd == "replay")
-            return cmdReplay(opts);
-        if (cmd == "simulate")
-            return cmdSimulate(opts);
-        usage();
-        return 2;
+            rc = cmdEstimate(opts);
+        else if (cmd == "microcode")
+            rc = cmdMicrocode(opts);
+        else if (cmd == "trace-gen")
+            rc = cmdTraceGen(opts);
+        else if (cmd == "replay")
+            rc = cmdReplay(opts);
+        else if (cmd == "simulate")
+            rc = cmdSimulate(opts);
+        else {
+            usage();
+            return 2;
+        }
+        writeObservabilityOutputs(opts);
+        return rc;
     } catch (const quest::sim::SimError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
