@@ -7,8 +7,12 @@
  * quantifies the accuracy/latency trade-off of that component.
  */
 
+#include <algorithm>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "decode/cluster_decoder.hpp"
+#include "decode/detection.hpp"
 #include "qecc/extractor.hpp"
 #include "sim/parallel.hpp"
 
@@ -73,8 +77,11 @@ printFigure()
         MwpmDecoder greedy(exp.lattice, 0);
         ClusterDecoder cluster(exp.lattice);
 
-        // One independent trial; all randomness comes from the
-        // trial-indexed substream, so the sweep is bit-identical
+        // Trials run 64 to a BatchPauliFrame word: lane t of batch
+        // b is trial b*64 + t, whose BatchErrorChannel lane stream
+        // is exactly Rng::substream(99, b*64 + t) — the stream the
+        // scalar sweep gave that trial — so the sampled windows
+        // (and this table) are bit-identical to the scalar engine
         // for any thread count.
         struct TrialOutcome
         {
@@ -82,34 +89,64 @@ printFigure()
                          failCluster = 0, hasClusters = 0;
             double clusterRatio = 0.0;
         };
-        const auto outcomes = sim::parallelMap<TrialOutcome>(
-            std::uint64_t(trials), [&](std::uint64_t t) {
-                sim::Rng rng = sim::Rng::substream(99, t);
-                quantum::PauliFrame frame(exp.lattice.numQubits());
-                const auto events = exp.sample(p, rng, frame);
+        constexpr std::size_t lanes =
+            quantum::BatchPauliFrame::lanes;
+        const std::uint64_t num_batches =
+            (std::uint64_t(trials) + lanes - 1) / lanes;
+        const auto batches =
+            sim::parallelMap<std::vector<TrialOutcome>>(
+                num_batches, [&](std::uint64_t b) {
+                    quantum::BatchPauliFrame bframe(
+                        exp.lattice.numQubits());
+                    quantum::BatchErrorChannel channel(
+                        quantum::ErrorRates{ p, 0, 0, 0, p }, 99,
+                        b * lanes);
+                    auto history = exp.extractor.runRoundsBatch(
+                        bframe, &channel,
+                        exp.lattice.rows() / 2 + 1);
+                    history.push_back(
+                        exp.extractor.runRoundBatch(bframe,
+                                                    nullptr));
+                    const auto lane_events =
+                        decode::extractDetectionEventsBatch(
+                            history, exp.extractor);
 
-                quantum::PauliFrame fe = frame, fg = frame,
-                                    fc = frame;
-                decode::applyCorrection(fe, exact.decode(events));
-                decode::applyCorrection(fg, greedy.decode(events));
-                decode::ClusterStats stats;
-                decode::applyCorrection(
-                    fc, cluster.decode(events, stats));
-                TrialOutcome o;
-                o.failExact = exp.logicalError(fe) ? 1 : 0;
-                o.failGreedy = exp.logicalError(fg) ? 1 : 0;
-                o.failCluster = exp.logicalError(fc) ? 1 : 0;
-                if (stats.clusters) {
-                    o.hasClusters = 1;
-                    o.clusterRatio = double(events.total())
-                        / double(stats.clusters);
-                }
-                return o;
-            });
+                    const std::uint64_t count =
+                        std::min<std::uint64_t>(
+                            lanes,
+                            std::uint64_t(trials) - b * lanes);
+                    std::vector<TrialOutcome> out(count);
+                    for (std::uint64_t t = 0; t < count; ++t) {
+                        const auto &events = lane_events[t];
+                        const quantum::PauliFrame frame =
+                            bframe.extractLane(t);
+                        quantum::PauliFrame fe = frame, fg = frame,
+                                            fc = frame;
+                        decode::applyCorrection(
+                            fe, exact.decode(events));
+                        decode::applyCorrection(
+                            fg, greedy.decode(events));
+                        decode::ClusterStats stats;
+                        decode::applyCorrection(
+                            fc, cluster.decode(events, stats));
+                        TrialOutcome &o = out[t];
+                        o.failExact = exp.logicalError(fe) ? 1 : 0;
+                        o.failGreedy = exp.logicalError(fg) ? 1 : 0;
+                        o.failCluster =
+                            exp.logicalError(fc) ? 1 : 0;
+                        if (stats.clusters) {
+                            o.hasClusters = 1;
+                            o.clusterRatio = double(events.total())
+                                / double(stats.clusters);
+                        }
+                    }
+                    return out;
+                });
 
         int fail_exact = 0, fail_greedy = 0, fail_cluster = 0;
         double cluster_events = 0, cluster_count = 0;
-        for (const TrialOutcome &o : outcomes) {
+        for (const std::vector<TrialOutcome> &batch : batches)
+        for (const TrialOutcome &o : batch) {
             fail_exact += o.failExact;
             fail_greedy += o.failGreedy;
             fail_cluster += o.failCluster;

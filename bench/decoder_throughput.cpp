@@ -9,11 +9,13 @@
  * multi-threaded, and emits BENCH_decoder_throughput.json so the
  * perf trajectory of the hot path is tracked across PRs.
  *
- * Each trial samples a d-round memory experiment from its own
- * Rng::substream(seed, trial) and decodes it; the multi-thread run
- * must reproduce the single-thread per-trial correction weights
- * bit-for-bit (verified here) — the determinism contract of
- * sim/parallel.hpp.
+ * Each trial is a d-round memory experiment sampled through the
+ * bit-parallel batch engine (lane t of batch b carries trial
+ * b*64 + t, whose lane stream is Rng::substream(seed, b*64 + t) —
+ * the stream the scalar engine gave that trial, so the windows are
+ * unchanged); the multi-thread run must reproduce the single-thread
+ * per-trial correction weights bit-for-bit (verified here) — the
+ * determinism contract of sim/parallel.hpp.
  *
  * Flags: --smoke (CI-sized run), --threads=N (multi-thread degree,
  * default ThreadPool::defaultThreads()), --trials=N, --out=PATH.
@@ -51,16 +53,40 @@ struct Experiment
           extractor(schedule)
     {}
 
-    decode::DetectionEvents
-    sample(double p, sim::Rng &rng) const
+    /**
+     * Sample every trial's detection events up front through the
+     * batched frame engine, 64 trials per word: trial i = lane
+     * i % 64 of batch i / 64, seeded so its draw stream equals the
+     * scalar engine's Rng::substream(sampleSeed, i).
+     */
+    std::vector<decode::DetectionEvents>
+    sampleAll(double p, std::uint64_t trials,
+              sim::ThreadPool &pool) const
     {
-        quantum::ErrorChannel channel(
-            quantum::ErrorRates{p, 0, 0, 0, p}, rng);
-        quantum::PauliFrame frame(lattice.numQubits());
-        auto history = extractor.runRounds(frame, &channel,
-                                           lattice.rows() / 2 + 1);
-        history.push_back(extractor.runRound(frame, nullptr));
-        return decode::extractDetectionEvents(history, extractor);
+        constexpr std::size_t lanes =
+            quantum::BatchPauliFrame::lanes;
+        const std::uint64_t batches = (trials + lanes - 1) / lanes;
+        auto per_batch =
+            sim::parallelMap<std::vector<decode::DetectionEvents>>(
+                pool, batches, [&](std::uint64_t b) {
+                    quantum::BatchPauliFrame frame(
+                        lattice.numQubits());
+                    quantum::BatchErrorChannel channel(
+                        quantum::ErrorRates{p, 0, 0, 0, p},
+                        sampleSeed, b * lanes);
+                    auto history = extractor.runRoundsBatch(
+                        frame, &channel, lattice.rows() / 2 + 1);
+                    history.push_back(
+                        extractor.runRoundBatch(frame, nullptr));
+                    return decode::extractDetectionEventsBatch(
+                        history, extractor);
+                });
+        std::vector<decode::DetectionEvents> events;
+        events.reserve(trials);
+        for (std::uint64_t i = 0; i < trials; ++i)
+            events.push_back(
+                std::move(per_batch[i / lanes][i % lanes]));
+        return events;
     }
 
     qecc::Lattice lattice;
@@ -103,24 +129,24 @@ summarize(std::vector<double> latencies, double wall_seconds,
 }
 
 /**
- * Decode `trials` independently sampled windows on `pool`,
- * recording per-trial decode latency and the per-trial correction
- * weight (the determinism witness).
+ * Decode the pre-sampled windows on `pool`, recording per-trial
+ * decode latency and the per-trial correction weight (the
+ * determinism witness).
  */
 template <typename DecodeFn>
 Timing
-runTrials(sim::ThreadPool &pool, const Experiment &exp, double p,
-          std::uint64_t trials, const DecodeFn &decode_one,
+runTrials(sim::ThreadPool &pool,
+          const std::vector<decode::DetectionEvents> &events,
+          const DecodeFn &decode_one,
           std::vector<std::uint64_t> &weights)
 {
+    const std::uint64_t trials = events.size();
     std::vector<double> latency(trials, 0.0);
     weights.assign(trials, 0);
     const auto wall0 = Clock::now();
     sim::parallelFor(pool, trials, [&](std::uint64_t i) {
-        sim::Rng rng = sim::Rng::substream(sampleSeed, i);
-        const decode::DetectionEvents events = exp.sample(p, rng);
         const auto t0 = Clock::now();
-        const decode::Correction corr = decode_one(events);
+        const decode::Correction corr = decode_one(events[i]);
         const auto t1 = Clock::now();
         latency[i] = double(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -199,6 +225,8 @@ main(int argc, char **argv)
         const decode::MwpmDecoder exact(exp.lattice, 14);
         const decode::MwpmDecoder greedy(exp.lattice, 0);
         const decode::ClusterDecoder cluster(exp.lattice);
+        const std::vector<decode::DetectionEvents> events =
+            exp.sampleAll(p, trials, pool);
 
         const auto run = [&](const std::string &name,
                              const auto &decode_one) {
@@ -206,9 +234,9 @@ main(int argc, char **argv)
             r.distance = d;
             r.decoder = name;
             std::vector<std::uint64_t> w_single, w_multi;
-            r.single = runTrials(serial, exp, p, trials, decode_one,
+            r.single = runTrials(serial, events, decode_one,
                                  w_single);
-            r.multi = runTrials(pool, exp, p, trials, decode_one,
+            r.multi = runTrials(pool, events, decode_one,
                                 w_multi);
             r.deterministic = w_single == w_multi;
             QUEST_ASSERT(r.deterministic,

@@ -1,118 +1,704 @@
 /**
  * @file
- * Raw kernel performance: the substrate's hot loops (stabilizer
- * tableau gates and measurement, Pauli-frame syndrome extraction,
- * LUT and MWPM decoding, 15-to-1 Monte-Carlo rounds). These are the
- * pieces whose throughput bounds how large a lattice the simulator
- * itself can sustain.
+ * Raw kernel performance: word-parallel tableau gates and batched
+ * Pauli-frame extraction versus the scalar reference kernels they
+ * replaced. These are the loops whose throughput bounds how large a
+ * lattice — and how many Monte-Carlo trials — the simulator itself
+ * can sustain, so the bench emits BENCH_kernel_speed.json to track
+ * the perf trajectory across PRs.
+ *
+ * The scalar baselines are compiled into this binary:
+ *  - RefTableau reproduces the pre-word-parallel CHP kernels
+ *    (row-major layout, one row-loop of single-bit updates per
+ *    gate), driven through the identical gate/measure sequence as
+ *    the production Tableau so ns/op compare like for like.
+ *  - The scalar frame sweep runs PauliFrame + ErrorChannel one trial
+ *    at a time from Rng::substream(seed, trial); the batched sweep
+ *    runs the same trials 64 to a BatchPauliFrame word. Lane t of
+ *    batch b is trial b*64 + t, so both sweeps see identical error
+ *    patterns — the bench cross-checks their detection-event digests
+ *    and refuses to report a speedup for diverging engines.
+ *
+ * Flags: --smoke (CI-sized run), --check (exit non-zero unless the
+ * word-parallel kernels beat the scalar reference), --threads=N
+ * (extra multi-threaded batched row), --out=PATH.
  */
 
-#include "bench_util.hpp"
-#include "decode/pipeline.hpp"
-#include "distill/simulator.hpp"
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "decode/detection.hpp"
 #include "qecc/extractor.hpp"
+#include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
+#include "sim/table.hpp"
 #include "quantum/tableau.hpp"
 
 namespace {
 
 using namespace quest;
+using Clock = std::chrono::steady_clock;
 
-void
-printFigure()
-{
-    sim::Table table("Simulator kernel benchmarks");
-    table.header({ "kernel", "notes" });
-    table.row({ "tableau gates/measure",
-                "CHP bit-packed; O(n) gates, O(n^2) measure" });
-    table.row({ "frame extraction round",
-                "Pauli frame; O(qubits) per round" });
-    table.row({ "two-level decode",
-                "LUT + exact-DP/greedy MWPM per window" });
-    table.row({ "15-to-1 MC round", "Reed-Muller syndrome check" });
-    table.caption("timings follow below");
-    quest::bench::emit(table);
-}
+constexpr std::uint64_t benchSeed = 0x5ABE11ull;
 
-void
-BM_TableauCnotLayer(benchmark::State &state)
+/**
+ * The pre-PR CHP tableau, verbatim semantics: bit-packed over
+ * qubits, row-major, every gate a loop over 2n rows doing
+ * single-bit reads/writes, measurement via per-row rowsum. Kept
+ * bench-local as the scalar reference the word-parallel Tableau is
+ * measured against.
+ */
+class RefTableau
 {
-    const std::size_t n = std::size_t(state.range(0));
-    quantum::Tableau t(n);
-    for (auto _ : state) {
-        for (std::size_t q = 0; q + 1 < n; q += 2)
-            t.cnot(q, q + 1);
+  public:
+    explicit RefTableau(std::size_t num_qubits)
+        : _n(num_qubits),
+          _words((num_qubits + 63) / 64),
+          _x((2 * num_qubits + 1) * _words, 0),
+          _z((2 * num_qubits + 1) * _words, 0),
+          _r(2 * num_qubits + 1, 0)
+    {
+        for (std::size_t i = 0; i < _n; ++i) {
+            setX(i, i, true);
+            setZ(_n + i, i, true);
+        }
     }
-    state.SetItemsProcessed(state.iterations() * long(n / 2));
-}
-BENCHMARK(BM_TableauCnotLayer)->Arg(64)->Arg(256)->Arg(1024);
 
-void
-BM_TableauMeasure(benchmark::State &state)
-{
-    const std::size_t n = std::size_t(state.range(0));
-    quantum::Tableau t(n);
-    sim::Rng rng(1);
-    for (std::size_t q = 0; q < n; ++q)
-        t.h(q);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            t.measureZ(rng.uniformInt(n), rng));
+    void
+    h(std::size_t q)
+    {
+        for (std::size_t row = 0; row < 2 * _n; ++row) {
+            const bool xv = getX(row, q);
+            const bool zv = getZ(row, q);
+            if (xv && zv)
+                _r[row] ^= 1;
+            setX(row, q, zv);
+            setZ(row, q, xv);
+        }
     }
-}
-BENCHMARK(BM_TableauMeasure)->Arg(64)->Arg(256);
 
-void
-BM_SyndromeRound(benchmark::State &state)
-{
-    const auto d = std::size_t(state.range(0));
-    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
-    const auto schedule = qecc::buildRoundSchedule(
-        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
-    const qecc::SyndromeExtractor extractor(schedule);
-    quantum::PauliFrame frame(lattice.numQubits());
-    sim::Rng rng(1);
-    quantum::ErrorChannel channel(
-        quantum::ErrorRates::uniform(1e-3), rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(extractor.runRound(frame, &channel));
-    state.SetItemsProcessed(state.iterations()
-                            * long(lattice.numQubits()));
-}
-BENCHMARK(BM_SyndromeRound)->Arg(5)->Arg(11)->Arg(21)->Arg(41);
+    void
+    s(std::size_t q)
+    {
+        for (std::size_t row = 0; row < 2 * _n; ++row) {
+            const bool xv = getX(row, q);
+            const bool zv = getZ(row, q);
+            if (xv && zv)
+                _r[row] ^= 1;
+            setZ(row, q, zv ^ xv);
+        }
+    }
 
-void
-BM_DecodeWindow(benchmark::State &state)
+    void
+    cnot(std::size_t control, std::size_t target)
+    {
+        for (std::size_t row = 0; row < 2 * _n; ++row) {
+            const bool xc = getX(row, control);
+            const bool zc = getZ(row, control);
+            const bool xt = getX(row, target);
+            const bool zt = getZ(row, target);
+            if (xc && zt && (xt == zc))
+                _r[row] ^= 1;
+            setX(row, target, xt ^ xc);
+            setZ(row, control, zc ^ zt);
+        }
+    }
+
+    bool
+    measureZ(std::size_t q, sim::Rng &rng)
+    {
+        std::size_t p = 0;
+        bool found = false;
+        for (std::size_t row = _n; row < 2 * _n; ++row) {
+            if (getX(row, q)) {
+                p = row;
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            for (std::size_t row = 0; row < 2 * _n; ++row)
+                if (row != p && row != p - _n && getX(row, q))
+                    rowsum(row, p);
+            copyRow(p - _n, p);
+            zeroRow(p);
+            setZ(p, q, true);
+            const bool outcome = rng.bernoulli(0.5);
+            _r[p] = outcome ? 1 : 0;
+            return outcome;
+        }
+        const std::size_t scratch = 2 * _n;
+        zeroRow(scratch);
+        for (std::size_t i = 0; i < _n; ++i)
+            if (getX(i, q))
+                rowsum(scratch, i + _n);
+        return _r[scratch] != 0;
+    }
+
+  private:
+    bool
+    getX(std::size_t row, std::size_t col) const
+    {
+        return _x[row * _words + col / 64]
+            & (std::uint64_t(1) << (col % 64));
+    }
+
+    bool
+    getZ(std::size_t row, std::size_t col) const
+    {
+        return _z[row * _words + col / 64]
+            & (std::uint64_t(1) << (col % 64));
+    }
+
+    void
+    setX(std::size_t row, std::size_t col, bool v)
+    {
+        auto &w = _x[row * _words + col / 64];
+        const std::uint64_t m = std::uint64_t(1) << (col % 64);
+        w = v ? (w | m) : (w & ~m);
+    }
+
+    void
+    setZ(std::size_t row, std::size_t col, bool v)
+    {
+        auto &w = _z[row * _words + col / 64];
+        const std::uint64_t m = std::uint64_t(1) << (col % 64);
+        w = v ? (w | m) : (w & ~m);
+    }
+
+    void
+    zeroRow(std::size_t row)
+    {
+        for (std::size_t w = 0; w < _words; ++w) {
+            _x[row * _words + w] = 0;
+            _z[row * _words + w] = 0;
+        }
+        _r[row] = 0;
+    }
+
+    void
+    copyRow(std::size_t dst, std::size_t src)
+    {
+        for (std::size_t w = 0; w < _words; ++w) {
+            _x[dst * _words + w] = _x[src * _words + w];
+            _z[dst * _words + w] = _z[src * _words + w];
+        }
+        _r[dst] = _r[src];
+    }
+
+    int
+    phaseOfProduct(std::size_t h_row, std::size_t i) const
+    {
+        std::int64_t total = 0;
+        for (std::size_t w = 0; w < _words; ++w) {
+            const std::uint64_t x1 = _x[i * _words + w];
+            const std::uint64_t z1 = _z[i * _words + w];
+            const std::uint64_t x2 = _x[h_row * _words + w];
+            const std::uint64_t z2 = _z[h_row * _words + w];
+            const std::uint64_t y1 = x1 & z1;
+            std::uint64_t plus = y1 & z2 & ~x2;
+            std::uint64_t minus = y1 & x2 & ~z2;
+            const std::uint64_t xonly = x1 & ~z1;
+            plus |= xonly & z2 & x2;
+            minus |= xonly & z2 & ~x2;
+            const std::uint64_t zonly = ~x1 & z1;
+            plus |= zonly & x2 & ~z2;
+            minus |= zonly & x2 & z2;
+            total += std::popcount(plus);
+            total -= std::popcount(minus);
+        }
+        return static_cast<int>(((total % 4) + 4) % 4);
+    }
+
+    void
+    rowsum(std::size_t h_row, std::size_t i)
+    {
+        const int phase =
+            (2 * _r[h_row] + 2 * _r[i] + phaseOfProduct(h_row, i))
+            % 4;
+        _r[h_row] = phase == 2 ? 1 : 0;
+        for (std::size_t w = 0; w < _words; ++w) {
+            _x[h_row * _words + w] ^= _x[i * _words + w];
+            _z[h_row * _words + w] ^= _z[i * _words + w];
+        }
+    }
+
+    std::size_t _n;
+    std::size_t _words;
+    std::vector<std::uint64_t> _x, _z;
+    std::vector<std::uint8_t> _r;
+};
+
+/** Repeat f until min_seconds of wall time, return ns per op. */
+template <typename F>
+double
+timePerOp(F &&f, double ops_per_call, double min_seconds)
 {
-    const auto d = std::size_t(state.range(0));
-    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
-    const auto schedule = qecc::buildRoundSchedule(
-        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
-    const qecc::SyndromeExtractor extractor(schedule);
-    sim::Rng rng(7);
-    quantum::ErrorChannel channel(
-        quantum::ErrorRates::uniform(2e-3), rng);
-    decode::DecoderPipeline pipeline(lattice);
-    for (auto _ : state) {
-        state.PauseTiming();
-        quantum::PauliFrame frame(lattice.numQubits());
-        const auto history = extractor.runRounds(frame, &channel, d);
+    f(); // warm caches, touch all pages
+    std::size_t calls = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    do {
+        f();
+        ++calls;
+        elapsed =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (elapsed < min_seconds);
+    return elapsed * 1e9 / (double(calls) * ops_per_call);
+}
+
+struct GateResult
+{
+    std::string kernel;
+    std::size_t n = 0;
+    double refNs = 0.0;
+    double wordNs = 0.0;
+
+    double
+    speedup() const
+    {
+        return wordNs > 0.0 ? refNs / wordNs : 0.0;
+    }
+};
+
+/**
+ * Drive the scalar reference and the word-parallel tableau through
+ * the identical warm state (a scrambled n-qubit circuit) and the
+ * identical gate sequences, timing each.
+ */
+std::vector<GateResult>
+runGateKernels(std::size_t n, double min_seconds,
+               std::uint64_t &witness)
+{
+    std::vector<GateResult> out;
+
+    const auto scrambleRef = [n](RefTableau &t) {
+        sim::Rng rng(benchSeed);
+        for (std::size_t g = 0; g < 4 * n; ++g) {
+            const std::size_t q = rng.uniformInt(n);
+            switch (rng.uniformInt(3)) {
+              case 0: t.h(q); break;
+              case 1: t.s(q); break;
+              case 2: {
+                const std::size_t b = rng.uniformInt(n);
+                if (b != q)
+                    t.cnot(q, b);
+                break;
+              }
+            }
+        }
+    };
+    const auto scrambleWord = [n](quantum::Tableau &t) {
+        sim::Rng rng(benchSeed);
+        for (std::size_t g = 0; g < 4 * n; ++g) {
+            const std::size_t q = rng.uniformInt(n);
+            switch (rng.uniformInt(3)) {
+              case 0: t.h(q); break;
+              case 1: t.s(q); break;
+              case 2: {
+                const std::size_t b = rng.uniformInt(n);
+                if (b != q)
+                    t.cnot(q, b);
+                break;
+              }
+            }
+        }
+    };
+
+    RefTableau ref(n);
+    quantum::Tableau word(n);
+    scrambleRef(ref);
+    scrambleWord(word);
+
+    {
+        GateResult r{ "h_layer", n, 0.0, 0.0 };
+        r.refNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    ref.h(q);
+            },
+            double(n), min_seconds);
+        r.wordNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    word.h(q);
+            },
+            double(n), min_seconds);
+        out.push_back(r);
+    }
+    {
+        GateResult r{ "s_layer", n, 0.0, 0.0 };
+        r.refNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    ref.s(q);
+            },
+            double(n), min_seconds);
+        r.wordNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    word.s(q);
+            },
+            double(n), min_seconds);
+        out.push_back(r);
+    }
+    {
+        GateResult r{ "cnot_layer", n, 0.0, 0.0 };
+        r.refNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q + 1 < n; q += 2)
+                    ref.cnot(q, q + 1);
+            },
+            double(n / 2), min_seconds);
+        r.wordNs = timePerOp(
+            [&] {
+                for (std::size_t q = 0; q + 1 < n; q += 2)
+                    word.cnot(q, q + 1);
+            },
+            double(n / 2), min_seconds);
+        out.push_back(r);
+    }
+    {
+        // Random-branch measurement: measure a random qubit, then
+        // re-superpose it with H so every call stays on the rowsum
+        // path. Both engines are driven by their own copy of the
+        // same Rng stream, so the qubit/outcome sequences match
+        // draw for draw for as long as both keep being timed.
+        GateResult r{ "measure_rand", n, 0.0, 0.0 };
+        constexpr std::size_t per_call = 16;
+        {
+            sim::Rng rng(benchSeed + 1);
+            std::uint64_t acc = 0;
+            r.refNs = timePerOp(
+                [&] {
+                    for (std::size_t i = 0; i < per_call; ++i) {
+                        const std::size_t q = rng.uniformInt(n);
+                        acc ^= std::uint64_t(ref.measureZ(q, rng))
+                            << (i % 64);
+                        ref.h(q);
+                    }
+                },
+                double(per_call), min_seconds);
+            witness ^= acc;
+        }
+        {
+            sim::Rng rng(benchSeed + 1);
+            std::uint64_t acc = 0;
+            r.wordNs = timePerOp(
+                [&] {
+                    for (std::size_t i = 0; i < per_call; ++i) {
+                        const std::size_t q = rng.uniformInt(n);
+                        acc ^= std::uint64_t(word.measureZ(q, rng))
+                            << (i % 64);
+                        word.h(q);
+                    }
+                },
+                double(per_call), min_seconds);
+            witness ^= acc;
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+/** Fold one trial's detection events into a running FNV digest. */
+std::uint64_t
+foldEvents(std::uint64_t h, const decode::DetectionEvents &events)
+{
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const auto &e : events.xEvents) {
+        mix(0x58);
+        mix(e.round);
+        mix(std::uint64_t(e.ancilla.row));
+        mix(std::uint64_t(e.ancilla.col));
+    }
+    for (const auto &e : events.zEvents) {
+        mix(0x5A);
+        mix(e.round);
+        mix(std::uint64_t(e.ancilla.row));
+        mix(std::uint64_t(e.ancilla.col));
+    }
+    return h;
+}
+
+struct SweepSetup
+{
+    explicit SweepSetup(std::size_t d)
+        : distance(d),
+          lattice(qecc::Lattice::forDistance(d)),
+          schedule(qecc::buildRoundSchedule(
+              lattice, qecc::protocolSpec(qecc::Protocol::Steane))),
+          extractor(schedule)
+    {}
+
+    std::size_t distance;
+    qecc::Lattice lattice;
+    qecc::RoundSchedule schedule;
+    qecc::SyndromeExtractor extractor;
+};
+
+constexpr quantum::ErrorRates sweepRates{ 2e-3, 0, 0, 0, 2e-3 };
+
+/** Scalar engine: one PauliFrame trial at a time. */
+double
+runScalarSweep(const SweepSetup &s, std::uint64_t trials,
+               std::uint64_t &digest)
+{
+    digest = 0xcbf29ce484222325ull;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        sim::Rng rng = sim::Rng::substream(benchSeed, i);
+        quantum::ErrorChannel channel(sweepRates, rng);
+        quantum::PauliFrame frame(s.lattice.numQubits());
+        auto history = s.extractor.runRounds(frame, &channel,
+                                             s.distance);
+        history.push_back(s.extractor.runRound(frame, nullptr));
+        digest = foldEvents(
+            digest,
+            decode::extractDetectionEvents(history, s.extractor));
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Batched engine: the same trials, 64 lanes per frame word. */
+double
+runBatchedSweep(const SweepSetup &s, std::uint64_t trials,
+                std::uint64_t &digest)
+{
+    constexpr std::size_t lanes = quantum::BatchPauliFrame::lanes;
+    digest = 0xcbf29ce484222325ull;
+    const std::uint64_t batches = (trials + lanes - 1) / lanes;
+    const auto t0 = Clock::now();
+    for (std::uint64_t b = 0; b < batches; ++b) {
+        quantum::BatchPauliFrame frame(s.lattice.numQubits());
+        quantum::BatchErrorChannel channel(sweepRates, benchSeed,
+                                           b * lanes);
+        auto history = s.extractor.runRoundsBatch(frame, &channel,
+                                                  s.distance);
+        history.push_back(s.extractor.runRoundBatch(frame, nullptr));
         const auto events =
-            decode::extractDetectionEvents(history, extractor);
-        state.ResumeTiming();
-        benchmark::DoNotOptimize(pipeline.decode(events));
+            decode::extractDetectionEventsBatch(history,
+                                                s.extractor);
+        const std::uint64_t want =
+            std::min<std::uint64_t>(lanes, trials - b * lanes);
+        for (std::uint64_t t = 0; t < want; ++t)
+            digest = foldEvents(digest, events[t]);
     }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-BENCHMARK(BM_DecodeWindow)->Arg(5)->Arg(11)->Arg(17);
 
-void
-BM_DistillationRound(benchmark::State &state)
+/** Batched engine fanned out on a pool (throughput row only). */
+double
+runBatchedSweepParallel(const SweepSetup &s, std::uint64_t trials,
+                        sim::ThreadPool &pool)
 {
-    sim::Rng rng(3);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(distill::simulateRound(1e-3, rng));
+    constexpr std::size_t lanes = quantum::BatchPauliFrame::lanes;
+    const std::uint64_t batches = (trials + lanes - 1) / lanes;
+    const auto t0 = Clock::now();
+    const auto sizes = sim::parallelMap<std::size_t>(
+        pool, batches, [&](std::uint64_t b) {
+            quantum::BatchPauliFrame frame(s.lattice.numQubits());
+            quantum::BatchErrorChannel channel(sweepRates, benchSeed,
+                                               b * lanes);
+            auto history = s.extractor.runRoundsBatch(
+                frame, &channel, s.distance);
+            history.push_back(
+                s.extractor.runRoundBatch(frame, nullptr));
+            const auto events = decode::extractDetectionEventsBatch(
+                history, s.extractor);
+            std::size_t total = 0;
+            for (const auto &lane : events)
+                total += lane.xEvents.size() + lane.zEvents.size();
+            return total;
+        });
+    (void)sizes;
+    return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-BENCHMARK(BM_DistillationRound);
+
+struct FrameResult
+{
+    std::size_t distance = 0;
+    std::uint64_t trials = 0;
+    double scalarPerSec = 0.0;
+    double batchedPerSec = 0.0;
+    double batchedParPerSec = 0.0;
+    std::size_t parThreads = 1;
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return scalarPerSec > 0.0 ? batchedPerSec / scalarPerSec
+                                  : 0.0;
+    }
+};
 
 } // namespace
 
-QUEST_BENCH_MAIN(printFigure)
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    bool smoke = false;
+    bool check = false;
+    std::size_t threads = 0;
+    std::string out_path = "BENCH_kernel_speed.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::size_t(std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else {
+            std::cerr << "unknown flag " << arg << "\n"
+                      << "usage: kernel_speed [--smoke] [--check] "
+                         "[--threads=N] [--out=PATH]\n";
+            return 1;
+        }
+    }
+
+    sim::metrics::Registry::global().reset();
+
+    // Gate kernels at the d=7 surface-code size (13x13 = 169 data
+    // qubits) and, in the full run, at a distillation-block size.
+    const double min_seconds = smoke ? 0.02 : 0.2;
+    const std::vector<std::size_t> sizes =
+        smoke ? std::vector<std::size_t>{ 169 }
+              : std::vector<std::size_t>{ 169, 625 };
+    std::uint64_t witness = 0;
+    std::vector<GateResult> gates;
+    for (const std::size_t n : sizes) {
+        const auto rs = runGateKernels(n, min_seconds, witness);
+        gates.insert(gates.end(), rs.begin(), rs.end());
+    }
+
+    // Frame sweeps at d=7: d noisy rounds + one quiet round per
+    // trial, detection events extracted — the Monte-Carlo inner
+    // loop everything upstream of the decoder pays per trial.
+    const std::uint64_t trials = smoke ? 256 : 4096;
+    const SweepSetup sweep(7);
+    FrameResult frames;
+    frames.distance = 7;
+    frames.trials = trials;
+    std::uint64_t scalar_digest = 0, batched_digest = 0;
+    const double scalar_wall =
+        runScalarSweep(sweep, trials, scalar_digest);
+    const double batched_wall =
+        runBatchedSweep(sweep, trials, batched_digest);
+    frames.scalarPerSec =
+        scalar_wall > 0.0 ? double(trials) / scalar_wall : 0.0;
+    frames.batchedPerSec =
+        batched_wall > 0.0 ? double(trials) / batched_wall : 0.0;
+    frames.identical = scalar_digest == batched_digest;
+    QUEST_ASSERT(frames.identical,
+                 "batched sweep diverged from scalar engine "
+                 "(digest %llx vs %llx)",
+                 (unsigned long long)batched_digest,
+                 (unsigned long long)scalar_digest);
+    {
+        sim::ThreadPool pool(
+            threads ? threads : sim::ThreadPool::defaultThreads());
+        frames.parThreads = pool.threads();
+        const double wall =
+            runBatchedSweepParallel(sweep, trials, pool);
+        frames.batchedParPerSec =
+            wall > 0.0 ? double(trials) / wall : 0.0;
+    }
+
+    sim::Table table("Kernel speed: scalar reference vs "
+                     "word-parallel (n qubits / d=7 frames)");
+    table.header({ "kernel", "n", "scalar ns/op", "word ns/op",
+                   "speedup" });
+    char b1[32], b2[32], b3[32];
+    for (const GateResult &g : gates) {
+        std::snprintf(b1, sizeof(b1), "%.1f", g.refNs);
+        std::snprintf(b2, sizeof(b2), "%.1f", g.wordNs);
+        std::snprintf(b3, sizeof(b3), "%.1fx", g.speedup());
+        table.row({ g.kernel, std::to_string(g.n), b1, b2, b3 });
+    }
+    std::snprintf(b1, sizeof(b1), "%.0f/s", frames.scalarPerSec);
+    std::snprintf(b2, sizeof(b2), "%.0f/s", frames.batchedPerSec);
+    std::snprintf(b3, sizeof(b3), "%.1fx", frames.speedup());
+    table.row({ "frame_trials", std::to_string(frames.trials), b1,
+                b2, b3 });
+    std::snprintf(b1, sizeof(b1), "%.0f/s",
+                  frames.batchedParPerSec);
+    table.row({ "frame_trials_mt",
+                std::to_string(frames.parThreads) + "T", "-", b1,
+                "-" });
+    table.caption("frame digests "
+                  + std::string(frames.identical ? "match"
+                                                 : "DIVERGE")
+                  + ": lane t of batch b is trial b*64+t");
+    table.print(std::cout);
+
+    std::ofstream os(out_path);
+    os << "{\n  \"bench\": \"kernel_speed\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"witness\": " << witness << ",\n"
+       << "  \"gate_kernels\": [\n";
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const GateResult &g = gates[i];
+        os << "  {\"kernel\": \"" << g.kernel << "\", \"n\": "
+           << g.n << ", \"scalar_ns_per_op\": " << g.refNs
+           << ", \"word_ns_per_op\": " << g.wordNs
+           << ", \"speedup\": " << g.speedup() << "}"
+           << (i + 1 < gates.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"frames\": {\n"
+       << "    \"distance\": " << frames.distance << ",\n"
+       << "    \"trials\": " << frames.trials << ",\n"
+       << "    \"scalar_trials_per_sec\": " << frames.scalarPerSec
+       << ",\n"
+       << "    \"batched_trials_per_sec\": " << frames.batchedPerSec
+       << ",\n"
+       << "    \"batched_parallel_trials_per_sec\": "
+       << frames.batchedParPerSec << ",\n"
+       << "    \"parallel_threads\": " << frames.parThreads << ",\n"
+       << "    \"speedup\": " << frames.speedup() << ",\n"
+       << "    \"digests_identical\": "
+       << (frames.identical ? "true" : "false") << "\n  },\n"
+       << "  \"metrics\": ";
+    sim::metricsWriteJson(os);
+    os << "\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+
+    if (check) {
+        bool ok = frames.identical;
+        if (frames.speedup() < 1.0) {
+            std::cerr << "CHECK FAILED: batched frame sweep slower "
+                         "than scalar ("
+                      << frames.speedup() << "x)\n";
+            ok = false;
+        }
+        for (const GateResult &g : gates) {
+            if (g.speedup() < 1.0) {
+                std::cerr << "CHECK FAILED: " << g.kernel << " n="
+                          << g.n << " slower than scalar ("
+                          << g.speedup() << "x)\n";
+                ok = false;
+            }
+        }
+        if (!ok)
+            return 2;
+        std::cout << "check passed: word-parallel kernels beat the "
+                     "scalar reference\n";
+    }
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "detection.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hpp"
 
@@ -44,6 +45,47 @@ extractDetectionEventsWindow(
             if (round.zFlips[i] != p)
                 out.zEvents.push_back(DetectionEvent{
                     first_round + r, z_anc[i], SiteType::ZAncilla});
+        }
+    }
+    return out;
+}
+
+std::vector<DetectionEvents>
+extractDetectionEventsBatch(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor)
+{
+    constexpr std::size_t lanes = quantum::BatchPauliFrame::lanes;
+    std::vector<DetectionEvents> out(lanes);
+    const auto &x_anc = extractor.xAncillas();
+    const auto &z_anc = extractor.zAncillas();
+
+    for (std::size_t r = 0; r < history.size(); ++r) {
+        const auto &round = history[r];
+        QUEST_ASSERT(round.xFlips.size() == x_anc.size()
+                         && round.zFlips.size() == z_anc.size(),
+                     "syndrome round %zu has inconsistent width", r);
+        const qecc::BatchSyndromeRound *prev =
+            r == 0 ? nullptr : &history[r - 1];
+        for (std::size_t i = 0; i < x_anc.size(); ++i) {
+            std::uint64_t diff =
+                round.xFlips[i] ^ (prev ? prev->xFlips[i] : 0);
+            while (diff) {
+                const int t = std::countr_zero(diff);
+                diff &= diff - 1;
+                out[std::size_t(t)].xEvents.push_back(DetectionEvent{
+                    r, x_anc[i], SiteType::XAncilla});
+            }
+        }
+        for (std::size_t i = 0; i < z_anc.size(); ++i) {
+            std::uint64_t diff =
+                round.zFlips[i] ^ (prev ? prev->zFlips[i] : 0);
+            while (diff) {
+                const int t = std::countr_zero(diff);
+                diff &= diff - 1;
+                out[std::size_t(t)].zEvents.push_back(DetectionEvent{
+                    r, z_anc[i], SiteType::ZAncilla});
+            }
         }
     }
     return out;

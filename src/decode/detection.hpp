@@ -66,6 +66,19 @@ DetectionEvents extractDetectionEventsWindow(
     const qecc::SyndromeRound *baseline, std::size_t first_round);
 
 /**
+ * Difference a batched syndrome history into per-lane detection
+ * events. Lane t of the result is exactly what
+ * extractDetectionEvents would return for lane t's scalar history:
+ * the same events in the same round-major, ancilla-index order. The
+ * round differencing itself is one XOR per ancilla word (all 64
+ * lanes at once); only ancillas that changed in some lane fan out
+ * to per-lane event lists.
+ */
+std::vector<DetectionEvents> extractDetectionEventsBatch(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor);
+
+/**
  * A correction: the set of data-qubit X flips and Z flips that, when
  * applied, should return the system to the code space.
  */

@@ -1,10 +1,14 @@
 #include "extractor.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace quest::qecc {
 
 using isa::PhysOpcode;
+using quantum::BatchErrorChannel;
+using quantum::BatchPauliFrame;
 using quantum::ErrorChannel;
 using quantum::PauliFrame;
 using quantum::Tableau;
@@ -26,6 +30,21 @@ SyndromeRound::weight() const
     return w;
 }
 
+SyndromeRound
+BatchSyndromeRound::lane(std::size_t lane) const
+{
+    QUEST_ASSERT(lane < BatchPauliFrame::lanes, "lane %zu out of range",
+                 lane);
+    SyndromeRound out;
+    out.xFlips.reserve(xFlips.size());
+    out.zFlips.reserve(zFlips.size());
+    for (const std::uint64_t w : xFlips)
+        out.xFlips.push_back((w >> lane) & 1u);
+    for (const std::uint64_t w : zFlips)
+        out.zFlips.push_back((w >> lane) & 1u);
+    return out;
+}
+
 SyndromeExtractor::SyndromeExtractor(const RoundSchedule &schedule)
     : _schedule(&schedule)
 {
@@ -40,12 +59,83 @@ SyndromeExtractor::SyndromeExtractor(const RoundSchedule &schedule)
     for (std::size_t i = 0; i < _zAncillas.size(); ++i)
         _syndromeSlot[lat.index(_zAncillas[i])] = int(i);
     QUEST_ASSERT(validateSchedule(schedule), "malformed round schedule");
+
+    // Precompile the schedule into a flat program: the sub-cycle
+    // walk, neighbour resolution and slot lookups happen once here
+    // instead of every round. Op order is exactly the schedule's
+    // (sub-cycle major, qubit minor), so noise draw order — and
+    // therefore every random stream — is unchanged.
+    for (std::size_t s = 0; s < schedule.depth(); ++s) {
+        const SubCycle &sc = schedule.subCycle(s);
+        for (std::size_t q = 0; q < sc.uops.size(); ++q) {
+            const PhysOpcode op = sc.uops[q];
+            RoundOp ro{};
+            ro.a = std::uint32_t(q);
+            switch (op) {
+              case PhysOpcode::Nop:
+              case PhysOpcode::Hadamard: // timing-only dressing slot
+              case PhysOpcode::Phase:
+              case PhysOpcode::Verify:   // classical cat-state check
+                continue;
+
+              case PhysOpcode::PrepZ:
+                ro.kind = RoundOp::Kind::PrepZ;
+                break;
+
+              case PhysOpcode::PrepX:
+                ro.kind = RoundOp::Kind::PrepX;
+                break;
+
+              case PhysOpcode::CnotN:
+              case PhysOpcode::CnotE:
+              case PhysOpcode::CnotS:
+              case PhysOpcode::CnotW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                ro.kind = RoundOp::Kind::Cnot;
+                ro.b = std::uint32_t(lat.index(*n));
+                break;
+              }
+
+              case PhysOpcode::CnotTargetN:
+              case PhysOpcode::CnotTargetE:
+              case PhysOpcode::CnotTargetS:
+              case PhysOpcode::CnotTargetW: {
+                const auto n = lat.neighbour(lat.coord(q),
+                                             cnotDirection(op));
+                ro.kind = RoundOp::Kind::Cnot;
+                ro.a = std::uint32_t(lat.index(*n));
+                ro.b = std::uint32_t(q);
+                break;
+              }
+
+              case PhysOpcode::MeasX:
+              case PhysOpcode::MeasZ: {
+                ro.kind = op == PhysOpcode::MeasX
+                              ? RoundOp::Kind::MeasX
+                              : RoundOp::Kind::MeasZ;
+                const int slot = _syndromeSlot[q];
+                QUEST_ASSERT(slot >= 0,
+                             "measurement on non-ancilla %zu", q);
+                ro.slot = std::uint16_t(slot);
+                ro.xAncilla = lat.siteType(lat.coord(q))
+                                      == SiteType::XAncilla
+                                  ? 1
+                                  : 0;
+                break;
+              }
+
+              case PhysOpcode::NumOpcodes:
+                sim::panic("invalid opcode in schedule");
+            }
+            _program.push_back(ro);
+        }
+    }
 }
 
 SyndromeRound
 SyndromeExtractor::runRound(PauliFrame &frame, ErrorChannel *channel) const
 {
-    const Lattice &lat = _schedule->lattice();
     SyndromeRound out;
     out.xFlips.assign(_xAncillas.size(), 0);
     out.zFlips.assign(_zAncillas.size(), 0);
@@ -56,79 +146,130 @@ SyndromeExtractor::runRound(PauliFrame &frame, ErrorChannel *channel) const
             channel->idle(frame, q);
     }
 
-    for (std::size_t s = 0; s < _schedule->depth(); ++s) {
-        const SubCycle &sc = _schedule->subCycle(s);
-        for (std::size_t q = 0; q < sc.uops.size(); ++q) {
-            const PhysOpcode op = sc.uops[q];
-            switch (op) {
-              case PhysOpcode::Nop:
-              case PhysOpcode::Hadamard: // timing-only dressing slot
-              case PhysOpcode::Phase:
-              case PhysOpcode::Verify:   // classical cat-state check
-                break;
+    for (const RoundOp &op : _program) {
+        switch (op.kind) {
+          case RoundOp::Kind::PrepZ:
+            frame.reset(op.a);
+            if (channel)
+                channel->afterPrep(frame, op.a);
+            break;
 
-              case PhysOpcode::PrepZ:
-                frame.reset(q);
-                if (channel)
-                    channel->afterPrep(frame, q);
-                break;
+          case RoundOp::Kind::PrepX:
+            frame.reset(op.a);
+            frame.h(op.a);
+            if (channel)
+                channel->afterPrep(frame, op.a);
+            break;
 
-              case PhysOpcode::PrepX:
-                frame.reset(q);
-                frame.h(q);
-                if (channel)
-                    channel->afterPrep(frame, q);
-                break;
+          case RoundOp::Kind::Cnot:
+            frame.cnot(op.a, op.b);
+            if (channel)
+                channel->afterGate2(frame, op.a, op.b);
+            break;
 
-              case PhysOpcode::CnotN:
-              case PhysOpcode::CnotE:
-              case PhysOpcode::CnotS:
-              case PhysOpcode::CnotW: {
-                const auto n = lat.neighbour(lat.coord(q),
-                                             cnotDirection(op));
-                const std::size_t partner = lat.index(*n);
-                frame.cnot(q, partner);
-                if (channel)
-                    channel->afterGate2(frame, q, partner);
-                break;
-              }
-
-              case PhysOpcode::CnotTargetN:
-              case PhysOpcode::CnotTargetE:
-              case PhysOpcode::CnotTargetS:
-              case PhysOpcode::CnotTargetW: {
-                const auto n = lat.neighbour(lat.coord(q),
-                                             cnotDirection(op));
-                const std::size_t partner = lat.index(*n);
-                frame.cnot(partner, q);
-                if (channel)
-                    channel->afterGate2(frame, partner, q);
-                break;
-              }
-
-              case PhysOpcode::MeasX:
-                frame.h(q);
-                [[fallthrough]];
-              case PhysOpcode::MeasZ: {
-                bool flip = frame.measureZFlip(q);
-                if (channel && channel->measurementFlip())
-                    flip = !flip;
-                const int slot = _syndromeSlot[q];
-                QUEST_ASSERT(slot >= 0, "measurement on non-ancilla %zu",
-                             q);
-                if (lat.siteType(lat.coord(q)) == SiteType::XAncilla)
-                    out.xFlips[std::size_t(slot)] = flip ? 1 : 0;
-                else
-                    out.zFlips[std::size_t(slot)] = flip ? 1 : 0;
-                break;
-              }
-
-              case PhysOpcode::NumOpcodes:
-                sim::panic("invalid opcode in schedule");
-            }
+          case RoundOp::Kind::MeasX:
+            frame.h(op.a);
+            [[fallthrough]];
+          case RoundOp::Kind::MeasZ: {
+            bool flip = frame.measureZFlip(op.a);
+            if (channel && channel->measurementFlip())
+                flip = !flip;
+            if (op.xAncilla)
+                out.xFlips[op.slot] = flip ? 1 : 0;
+            else
+                out.zFlips[op.slot] = flip ? 1 : 0;
+            break;
+          }
         }
     }
     return out;
+}
+
+BatchSyndromeRound
+SyndromeExtractor::runRoundBatch(BatchPauliFrame &frame,
+                                 BatchErrorChannel *channel) const
+{
+    QUEST_TRACE_SCOPE("qecc", "batch_round");
+    BatchSyndromeRound out;
+    out.xFlips.assign(_xAncillas.size(), 0);
+    out.zFlips.assign(_zAncillas.size(), 0);
+
+    if (channel) {
+        for (std::size_t q : _dataIndices)
+            channel->idle(frame, q);
+    }
+
+    for (const RoundOp &op : _program) {
+        switch (op.kind) {
+          case RoundOp::Kind::PrepZ:
+            frame.reset(op.a);
+            if (channel)
+                channel->afterPrep(frame, op.a);
+            break;
+
+          case RoundOp::Kind::PrepX:
+            frame.reset(op.a);
+            frame.h(op.a);
+            if (channel)
+                channel->afterPrep(frame, op.a);
+            break;
+
+          case RoundOp::Kind::Cnot:
+            frame.cnot(op.a, op.b);
+            if (channel)
+                channel->afterGate2(frame, op.a, op.b);
+            break;
+
+          case RoundOp::Kind::MeasX:
+            frame.h(op.a);
+            [[fallthrough]];
+          case RoundOp::Kind::MeasZ: {
+            std::uint64_t flips = frame.measureZFlipMask(op.a);
+            if (channel)
+                flips ^= channel->measurementFlipMask();
+            if (op.xAncilla)
+                out.xFlips[op.slot] = flips;
+            else
+                out.zFlips[op.slot] = flips;
+            break;
+          }
+        }
+    }
+
+    // Cycle accounting for the bit-parallel engine: how many rounds
+    // ran, how many lane-trials they covered, how many word-wide
+    // micro-ops were retired and how full the error planes are
+    // (integer counters only — deterministic across thread counts).
+    auto &registry = sim::metrics::Registry::global();
+    static auto &rounds = registry.counter(
+        "qecc.batch.rounds", "batched syndrome extraction rounds");
+    static auto &lane_rounds = registry.counter(
+        "qecc.batch.lane_rounds",
+        "per-trial rounds covered by batched execution (rounds x 64)");
+    static auto &word_uops = registry.counter(
+        "qecc.batch.word_uops",
+        "word-wide frame micro-ops retired by batched rounds");
+    static auto &fill_bits = registry.counter(
+        "qecc.batch.fill_bits",
+        "set error-plane bits observed at batched round boundaries");
+    ++rounds;
+    lane_rounds += BatchPauliFrame::lanes;
+    word_uops += _program.size() + _dataIndices.size();
+    fill_bits += frame.totalErrorBits();
+
+    return out;
+}
+
+std::vector<BatchSyndromeRound>
+SyndromeExtractor::runRoundsBatch(BatchPauliFrame &frame,
+                                  BatchErrorChannel *channel,
+                                  std::size_t rounds) const
+{
+    std::vector<BatchSyndromeRound> history;
+    history.reserve(rounds);
+    for (std::size_t r = 0; r < rounds; ++r)
+        history.push_back(runRoundBatch(frame, channel));
+    return history;
 }
 
 std::vector<SyndromeRound>

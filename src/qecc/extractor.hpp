@@ -47,6 +47,20 @@ struct SyndromeRound
     std::size_t weight() const;
 };
 
+/**
+ * Measurement flips of one round for all 64 batch lanes: bit t of
+ * word i is lane t's flip on ancilla i (same sites() order as the
+ * scalar SyndromeRound).
+ */
+struct BatchSyndromeRound
+{
+    std::vector<std::uint64_t> xFlips;
+    std::vector<std::uint64_t> zFlips;
+
+    /** Scalar view of one lane (differential tests, decode). */
+    SyndromeRound lane(std::size_t lane) const;
+};
+
 /** Executes syndrome-extraction rounds on a Pauli frame. */
 class SyndromeExtractor
 {
@@ -80,13 +94,57 @@ class SyndromeExtractor
     runRounds(quantum::PauliFrame &frame, quantum::ErrorChannel *channel,
               std::size_t rounds) const;
 
+    /**
+     * Execute one round on 64 trials at once. The per-lane noise
+     * draw order matches runRound exactly (see BatchErrorChannel),
+     * so lane t reproduces a scalar run seeded with trial t's
+     * substream bit for bit.
+     * @param channel Batched noise source; nullptr for noiseless
+     *                propagation.
+     */
+    BatchSyndromeRound
+    runRoundBatch(quantum::BatchPauliFrame &frame,
+                  quantum::BatchErrorChannel *channel) const;
+
+    /** Execute `rounds` batched rounds and collect the history. */
+    std::vector<BatchSyndromeRound>
+    runRoundsBatch(quantum::BatchPauliFrame &frame,
+                   quantum::BatchErrorChannel *channel,
+                   std::size_t rounds) const;
+
   private:
+    /**
+     * One resolved operation of the precompiled round program:
+     * lattice neighbours and syndrome slots are looked up once at
+     * construction, and timing-only slots (Nop, Hadamard/Phase
+     * dressing, Verify) are dropped, so the per-round executors
+     * walk a flat op list instead of re-decoding the schedule.
+     */
+    struct RoundOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            PrepZ,
+            PrepX,
+            Cnot,
+            MeasX,
+            MeasZ,
+        };
+
+        Kind kind;
+        std::uint8_t xAncilla; ///< measurement reports into xFlips
+        std::uint16_t slot;    ///< measurement flip-vector index
+        std::uint32_t a;       ///< prep/meas qubit, or CNOT control
+        std::uint32_t b;       ///< CNOT target
+    };
+
     const RoundSchedule *_schedule;
     std::vector<Coord> _xAncillas;
     std::vector<Coord> _zAncillas;
     std::vector<std::size_t> _dataIndices;
     /** Qubit index -> slot in the xFlips/zFlips vector (-1: none). */
     std::vector<int> _syndromeSlot;
+    std::vector<RoundOp> _program;
 };
 
 /**

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Bit-parallel batched Pauli-frame engine (SIMD within a register).
+ *
+ * A Monte-Carlo sweep runs thousands of independent trials through
+ * the same Clifford circuit; only the injected noise differs. The
+ * BatchPauliFrame packs 64 such trials per qubit into one
+ * std::uint64_t lane word — bit t of qubit q's word is trial t's
+ * error bit — so Clifford propagation, error injection and ancilla
+ * readout become single word operations shared by all 64 trials:
+ * a ~64x reduction in inner-loop work over running 64 scalar
+ * PauliFrames.
+ *
+ * Lane <-> trial mapping and determinism: lane t of batch b is
+ * Monte-Carlo trial b*64 + t, and all of its randomness comes from
+ * Rng::substream(seed, b*64 + t) (see BatchErrorChannel in
+ * error_model.hpp). Because the draws are keyed by trial index
+ * alone, a batched sweep is bit-identical to the scalar per-trial
+ * sweep and across any thread count when batches are distributed
+ * with sim::parallelFor keyed on the batch index
+ * (tests/test_batch_frame.cpp asserts both properties).
+ */
+
+#ifndef QUEST_QUANTUM_BATCH_PAULI_FRAME_HPP
+#define QUEST_QUANTUM_BATCH_PAULI_FRAME_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli.hpp"
+#include "pauli_frame.hpp"
+#include "sim/logging.hpp"
+
+namespace quest::quantum {
+
+/** 64 independent Pauli frames, one bit-lane per Monte-Carlo trial. */
+class BatchPauliFrame
+{
+  public:
+    /** Number of trials packed into one batch (one per lane bit). */
+    static constexpr std::size_t lanes = 64;
+
+    explicit BatchPauliFrame(std::size_t num_qubits)
+        : _xerr(num_qubits, 0), _zerr(num_qubits, 0)
+    {}
+
+    std::size_t numQubits() const { return _xerr.size(); }
+
+    /** @name Per-lane error injection (bit t of mask = trial t). */
+    ///@{
+    void
+    injectX(std::size_t q, std::uint64_t mask)
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        _xerr[q] ^= mask;
+    }
+
+    void
+    injectZ(std::size_t q, std::uint64_t mask)
+    {
+        QUEST_DEBUG_ASSERT(q < _zerr.size(), "qubit %zu out of range",
+                           q);
+        _zerr[q] ^= mask;
+    }
+
+    void
+    injectY(std::size_t q, std::uint64_t mask)
+    {
+        injectX(q, mask);
+        injectZ(q, mask);
+    }
+
+    /** XOR independent X and Z masks into one qubit's lanes. */
+    void
+    injectMasks(std::size_t q, std::uint64_t xmask, std::uint64_t zmask)
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        _xerr[q] ^= xmask;
+        _zerr[q] ^= zmask;
+    }
+    ///@}
+
+    /** @name Word-parallel Clifford propagation (all 64 trials). */
+    ///@{
+    void
+    h(std::size_t q)
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        const std::uint64_t x = _xerr[q];
+        _xerr[q] = _zerr[q];
+        _zerr[q] = x;
+    }
+
+    void
+    s(std::size_t q)
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        _zerr[q] ^= _xerr[q];
+    }
+
+    void
+    cnot(std::size_t control, std::size_t target)
+    {
+        QUEST_DEBUG_ASSERT(control < _xerr.size()
+                               && target < _xerr.size(),
+                           "bad CNOT operands (%zu, %zu)", control,
+                           target);
+        _xerr[target] ^= _xerr[control];
+        _zerr[control] ^= _zerr[target];
+    }
+
+    void
+    cz(std::size_t a, std::size_t b)
+    {
+        QUEST_DEBUG_ASSERT(a < _xerr.size() && b < _xerr.size(),
+                           "bad CZ operands (%zu, %zu)", a, b);
+        _zerr[b] ^= _xerr[a];
+        _zerr[a] ^= _xerr[b];
+    }
+    ///@}
+
+    /**
+     * Z-basis readout for all lanes at once: bit t is set when
+     * trial t's recorded outcome is flipped relative to ideal.
+     */
+    std::uint64_t
+    measureZFlipMask(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        return _xerr[q];
+    }
+
+    /** X-basis readout flips: the Z error lanes. */
+    std::uint64_t
+    measureXFlipMask(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _zerr.size(), "qubit %zu out of range",
+                           q);
+        return _zerr[q];
+    }
+
+    /** Preparation discards every lane's error on the qubit. */
+    void
+    reset(std::size_t q)
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size(), "qubit %zu out of range",
+                           q);
+        _xerr[q] = 0;
+        _zerr[q] = 0;
+    }
+
+    /** @name Single-lane views (differential tests, decode feedback). */
+    ///@{
+    bool
+    xError(std::size_t q, std::size_t lane) const
+    {
+        QUEST_DEBUG_ASSERT(q < _xerr.size() && lane < lanes,
+                           "bad lane access (%zu, %zu)", q, lane);
+        return (_xerr[q] >> lane) & 1u;
+    }
+
+    bool
+    zError(std::size_t q, std::size_t lane) const
+    {
+        QUEST_DEBUG_ASSERT(q < _zerr.size() && lane < lanes,
+                           "bad lane access (%zu, %zu)", q, lane);
+        return (_zerr[q] >> lane) & 1u;
+    }
+
+    Pauli
+    errorAt(std::size_t q, std::size_t lane) const
+    {
+        return makePauli(xError(q, lane), zError(q, lane));
+    }
+
+    /** Copy one lane out into a scalar frame. */
+    PauliFrame extractLane(std::size_t lane) const;
+
+    /** Non-identity error count of one lane. */
+    std::size_t laneWeight(std::size_t lane) const;
+    ///@}
+
+    /** Clear every lane of every qubit. */
+    void clear();
+
+    /** Total set error bits across all lanes (batch-fill metric). */
+    std::size_t totalErrorBits() const;
+
+  private:
+    // One 64-lane word per qubit; bit t of _xerr[q] is trial t's X
+    // error bit on qubit q.
+    std::vector<std::uint64_t> _xerr;
+    std::vector<std::uint64_t> _zerr;
+};
+
+} // namespace quest::quantum
+
+#endif // QUEST_QUANTUM_BATCH_PAULI_FRAME_HPP

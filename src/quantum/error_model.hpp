@@ -12,8 +12,10 @@
 #ifndef QUEST_QUANTUM_ERROR_MODEL_HPP
 #define QUEST_QUANTUM_ERROR_MODEL_HPP
 
+#include "batch_pauli_frame.hpp"
 #include "pauli.hpp"
 #include "pauli_frame.hpp"
+#include "sim/batch_random.hpp"
 #include "sim/random.hpp"
 
 namespace quest::quantum {
@@ -106,6 +108,69 @@ class ErrorChannel
   private:
     ErrorRates _rates;
     sim::Rng *_rng;
+};
+
+/**
+ * Transposed Bernoulli sampling for the bit-parallel batch engine:
+ * 64 per-lane generators, lane t seeded from
+ * Rng::substream(seed, first_trial + t) — the exact substream the
+ * scalar sweep hands trial first_trial + t — drawn in lane order at
+ * every noise site so each lane's draw sequence is identical to the
+ * scalar ErrorChannel's. The sampled per-lane hits are packed into
+ * 64-bit masks and injected with one word op per error plane.
+ */
+class BatchErrorChannel
+{
+  public:
+    /**
+     * @param rates Per-operation error probabilities.
+     * @param seed Sweep seed (the scalar sweep's substream seed).
+     * @param first_trial Trial index carried by lane 0; lane t is
+     *                    trial first_trial + t. A batch sweep uses
+     *                    first_trial = 64 * batch_index.
+     */
+    BatchErrorChannel(ErrorRates rates, std::uint64_t seed,
+                      std::uint64_t first_trial);
+
+    const ErrorRates &rates() const { return _rates; }
+    void setRates(const ErrorRates &rates) { _rates = rates; }
+
+    /** Uniform non-identity Pauli per lane with probability p. */
+    void depolarize1(BatchPauliFrame &frame, std::size_t q, double p);
+
+    /** Two-qubit depolarizing channel, 15 non-identity Paulis. */
+    void depolarize2(BatchPauliFrame &frame, std::size_t a,
+                     std::size_t b, double p);
+
+    /** @name Convenience wrappers using the configured rates. */
+    ///@{
+    void
+    afterGate1(BatchPauliFrame &frame, std::size_t q)
+    {
+        depolarize1(frame, q, _rates.gate1);
+    }
+
+    void
+    afterGate2(BatchPauliFrame &frame, std::size_t a, std::size_t b)
+    {
+        depolarize2(frame, a, b, _rates.gate2);
+    }
+
+    void
+    idle(BatchPauliFrame &frame, std::size_t q)
+    {
+        depolarize1(frame, q, _rates.idle);
+    }
+
+    void afterPrep(BatchPauliFrame &frame, std::size_t q);
+
+    /** Lanes whose next readout value should be flipped. */
+    std::uint64_t measurementFlipMask();
+    ///@}
+
+  private:
+    ErrorRates _rates;
+    sim::BatchRng _rngs;
 };
 
 } // namespace quest::quantum

@@ -1,32 +1,33 @@
 #include "pauli_frame.hpp"
 
+#include <bit>
+
 namespace quest::quantum {
 
 std::size_t
 PauliFrame::weight() const
 {
     std::size_t w = 0;
-    for (std::size_t q = 0; q < _xerr.size(); ++q)
-        if (_xerr[q] || _zerr[q])
-            ++w;
+    for (std::size_t i = 0; i < _xerr.size(); ++i)
+        w += std::size_t(std::popcount(_xerr[i] | _zerr[i]));
     return w;
 }
 
 void
 PauliFrame::clear()
 {
-    for (auto &b : _xerr)
-        b = 0;
-    for (auto &b : _zerr)
-        b = 0;
+    for (auto &wd : _xerr)
+        wd = 0;
+    for (auto &wd : _zerr)
+        wd = 0;
 }
 
 PauliString
 PauliFrame::toPauliString() const
 {
-    PauliString out(_xerr.size());
-    for (std::size_t q = 0; q < _xerr.size(); ++q)
-        out.set(q, makePauli(_xerr[q], _zerr[q]));
+    PauliString out(_n);
+    for (std::size_t q = 0; q < _n; ++q)
+        out.set(q, makePauli(testBit(_xerr, q), testBit(_zerr, q)));
     return out;
 }
 

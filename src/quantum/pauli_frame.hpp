@@ -10,6 +10,14 @@
  * the syndrome-extraction circuit; a Z-basis measurement outcome is
  * flipped relative to ideal exactly when the qubit's X error bit is
  * set. This is O(1) per gate and scales to millions of qubits.
+ *
+ * Storage is bit-packed: qubit q's X (Z) error bit lives at bit
+ * q%64 of word q/64 of the X (Z) plane, the same word layout the
+ * word-parallel Tableau kernels and the 64-trial BatchPauliFrame
+ * use. Whole-frame operations (weight, clear, toPauliString) are
+ * word ops; the per-gate accessors are branch-free mask updates
+ * with debug-only bounds checks (QUEST_DEBUG_ASSERT) instead of the
+ * old bounds-checked `.at()` round trips.
  */
 
 #ifndef QUEST_QUANTUM_PAULI_FRAME_HPP
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "pauli.hpp"
+#include "sim/logging.hpp"
 #include "sim/random.hpp"
 
 namespace quest::quantum {
@@ -28,15 +37,28 @@ class PauliFrame
 {
   public:
     explicit PauliFrame(std::size_t num_qubits)
-        : _xerr(num_qubits, 0), _zerr(num_qubits, 0)
+        : _n(num_qubits),
+          _xerr((num_qubits + 63) / 64, 0),
+          _zerr((num_qubits + 63) / 64, 0)
     {}
 
-    std::size_t numQubits() const { return _xerr.size(); }
+    std::size_t numQubits() const { return _n; }
 
     /** @name Error injection. */
     ///@{
-    void injectX(std::size_t q) { _xerr.at(q) ^= 1; }
-    void injectZ(std::size_t q) { _zerr.at(q) ^= 1; }
+    void
+    injectX(std::size_t q)
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        _xerr[q >> 6] ^= bit(q);
+    }
+
+    void
+    injectZ(std::size_t q)
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        _zerr[q >> 6] ^= bit(q);
+    }
 
     void
     injectY(std::size_t q)
@@ -48,10 +70,11 @@ class PauliFrame
     void
     inject(std::size_t q, Pauli p)
     {
-        if (pauliX(p))
-            injectX(q);
-        if (pauliZ(p))
-            injectZ(q);
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        // Pauli encodes (x bit, z bit) directly; no branches.
+        const auto v = static_cast<std::uint64_t>(p);
+        _xerr[q >> 6] ^= (v & 1u) << (q & 63);
+        _zerr[q >> 6] ^= ((v >> 1) & 1u) << (q & 63);
     }
     ///@}
 
@@ -60,30 +83,45 @@ class PauliFrame
     void
     h(std::size_t q)
     {
-        std::swap(_xerr.at(q), _zerr.at(q));
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        // Swap the X and Z bits: toggle both when they differ.
+        const std::uint64_t diff =
+            (_xerr[q >> 6] ^ _zerr[q >> 6]) & bit(q);
+        _xerr[q >> 6] ^= diff;
+        _zerr[q >> 6] ^= diff;
     }
 
     void
     s(std::size_t q)
     {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
         // S X S^dg = Y: an X error gains a Z component.
-        _zerr.at(q) ^= _xerr.at(q);
+        _zerr[q >> 6] ^= _xerr[q >> 6] & bit(q);
     }
 
     void
     cnot(std::size_t control, std::size_t target)
     {
+        QUEST_DEBUG_ASSERT(control < _n && target < _n,
+                           "bad CNOT operands (%zu, %zu)", control,
+                           target);
         // X errors copy control -> target; Z errors copy target -> control.
-        _xerr.at(target) ^= _xerr.at(control);
-        _zerr.at(control) ^= _zerr.at(target);
+        _xerr[target >> 6] ^= std::uint64_t(testBit(_xerr, control))
+            << (target & 63);
+        _zerr[control >> 6] ^= std::uint64_t(testBit(_zerr, target))
+            << (control & 63);
     }
 
     void
     cz(std::size_t a, std::size_t b)
     {
+        QUEST_DEBUG_ASSERT(a < _n && b < _n,
+                           "bad CZ operands (%zu, %zu)", a, b);
         // X on one qubit picks up Z on the other.
-        _zerr.at(b) ^= _xerr.at(a);
-        _zerr.at(a) ^= _xerr.at(b);
+        const bool xa = testBit(_xerr, a);
+        const bool xb = testBit(_xerr, b);
+        _zerr[b >> 6] ^= std::uint64_t(xa) << (b & 63);
+        _zerr[a >> 6] ^= std::uint64_t(xb) << (a & 63);
     }
     ///@}
 
@@ -91,28 +129,51 @@ class PauliFrame
      * Z-basis measurement: @return true when the recorded outcome is
      * flipped relative to the ideal circuit (i.e. the X error bit).
      */
-    bool measureZFlip(std::size_t q) const { return _xerr.at(q); }
+    bool
+    measureZFlip(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        return testBit(_xerr, q);
+    }
 
     /** X-basis measurement flip: the Z error bit. */
-    bool measureXFlip(std::size_t q) const { return _zerr.at(q); }
+    bool
+    measureXFlip(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        return testBit(_zerr, q);
+    }
 
     /** Preparation discards any accumulated error on the qubit. */
     void
     reset(std::size_t q)
     {
-        _xerr.at(q) = 0;
-        _zerr.at(q) = 0;
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        _xerr[q >> 6] &= ~bit(q);
+        _zerr[q >> 6] &= ~bit(q);
     }
 
     /** Current error on qubit q. */
     Pauli
     errorAt(std::size_t q) const
     {
-        return makePauli(_xerr.at(q), _zerr.at(q));
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        return makePauli(testBit(_xerr, q), testBit(_zerr, q));
     }
 
-    bool xError(std::size_t q) const { return _xerr.at(q); }
-    bool zError(std::size_t q) const { return _zerr.at(q); }
+    bool
+    xError(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        return testBit(_xerr, q);
+    }
+
+    bool
+    zError(std::size_t q) const
+    {
+        QUEST_DEBUG_ASSERT(q < _n, "qubit %zu out of range", q);
+        return testBit(_zerr, q);
+    }
 
     /** Number of qubits carrying a non-identity error. */
     std::size_t weight() const;
@@ -123,9 +184,28 @@ class PauliFrame
     /** The whole frame as a PauliString (for tableau cross-checks). */
     PauliString toPauliString() const;
 
+    /** @name Raw word planes (shared with the batch/tableau kernels). */
+    ///@{
+    const std::vector<std::uint64_t> &xWords() const { return _xerr; }
+    const std::vector<std::uint64_t> &zWords() const { return _zerr; }
+    ///@}
+
   private:
-    std::vector<std::uint8_t> _xerr;
-    std::vector<std::uint8_t> _zerr;
+    static std::uint64_t
+    bit(std::size_t q)
+    {
+        return std::uint64_t(1) << (q & 63);
+    }
+
+    static bool
+    testBit(const std::vector<std::uint64_t> &words, std::size_t q)
+    {
+        return (words[q >> 6] >> (q & 63)) & 1u;
+    }
+
+    std::size_t _n;
+    std::vector<std::uint64_t> _xerr;
+    std::vector<std::uint64_t> _zerr;
 };
 
 } // namespace quest::quantum

@@ -1,6 +1,7 @@
 #include "tableau.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "sim/logging.hpp"
 
@@ -10,26 +11,55 @@ namespace {
 
 constexpr std::size_t wordBits = 64;
 
-std::size_t
-wordIndex(std::size_t col)
+/** Inclusive prefix-parity of a word: bit k = parity of bits 0..k. */
+std::uint64_t
+prefixXor(std::uint64_t v)
 {
-    return col / wordBits;
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    return v;
 }
 
+/** Word w of a row mask selecting rows [0, limit). */
 std::uint64_t
-bitMask(std::size_t col)
+rowsBelowWord(std::size_t w, std::size_t limit)
 {
-    return std::uint64_t(1) << (col % wordBits);
+    const std::size_t lo = w * wordBits;
+    if (limit <= lo)
+        return 0;
+    if (limit >= lo + wordBits)
+        return ~std::uint64_t(0);
+    return (std::uint64_t(1) << (limit - lo)) - 1;
+}
+
+bool
+getBitVec(const std::vector<std::uint64_t> &v, std::size_t i)
+{
+    return (v[i / wordBits] >> (i % wordBits)) & 1u;
+}
+
+void
+setBitVec(std::vector<std::uint64_t> &v, std::size_t i, bool b)
+{
+    const std::uint64_t mask = std::uint64_t(1) << (i % wordBits);
+    if (b)
+        v[i / wordBits] |= mask;
+    else
+        v[i / wordBits] &= ~mask;
 }
 
 } // namespace
 
 Tableau::Tableau(std::size_t num_qubits)
     : _n(num_qubits),
-      _words((num_qubits + wordBits - 1) / wordBits),
-      _x((2 * num_qubits + 1) * _words, 0),
-      _z((2 * num_qubits + 1) * _words, 0),
-      _r(2 * num_qubits + 1, 0)
+      _rw((2 * num_qubits + wordBits - 1) / wordBits),
+      _x(num_qubits * _rw, 0),
+      _z(num_qubits * _rw, 0),
+      _r(_rw, 0)
 {
     QUEST_ASSERT(_n > 0, "tableau needs at least one qubit");
     // Destabilizer i = X_i; stabilizer i = Z_i (the |0..0> state).
@@ -42,112 +72,40 @@ Tableau::Tableau(std::size_t num_qubits)
 bool
 Tableau::getX(std::size_t row, std::size_t col) const
 {
-    return _x[row * _words + wordIndex(col)] & bitMask(col);
+    return (_x[col * _rw + row / wordBits] >> (row % wordBits)) & 1u;
 }
 
 bool
 Tableau::getZ(std::size_t row, std::size_t col) const
 {
-    return _z[row * _words + wordIndex(col)] & bitMask(col);
+    return (_z[col * _rw + row / wordBits] >> (row % wordBits)) & 1u;
 }
 
 void
 Tableau::setX(std::size_t row, std::size_t col, bool v)
 {
-    auto &w = _x[row * _words + wordIndex(col)];
-    if (v)
-        w |= bitMask(col);
-    else
-        w &= ~bitMask(col);
+    auto &w = _x[col * _rw + row / wordBits];
+    const std::uint64_t mask = std::uint64_t(1) << (row % wordBits);
+    w = v ? (w | mask) : (w & ~mask);
 }
 
 void
 Tableau::setZ(std::size_t row, std::size_t col, bool v)
 {
-    auto &w = _z[row * _words + wordIndex(col)];
-    if (v)
-        w |= bitMask(col);
-    else
-        w &= ~bitMask(col);
-}
-
-void
-Tableau::zeroRow(std::size_t row)
-{
-    for (std::size_t w = 0; w < _words; ++w) {
-        _x[row * _words + w] = 0;
-        _z[row * _words + w] = 0;
-    }
-    _r[row] = 0;
-}
-
-void
-Tableau::copyRow(std::size_t dst, std::size_t src)
-{
-    for (std::size_t w = 0; w < _words; ++w) {
-        _x[dst * _words + w] = _x[src * _words + w];
-        _z[dst * _words + w] = _z[src * _words + w];
-    }
-    _r[dst] = _r[src];
-}
-
-int
-Tableau::phaseOfProduct(std::size_t h, std::size_t i) const
-{
-    // Sum of the CHP g() function over all qubit positions, computed
-    // word-parallel. Each position contributes -1, 0 or +1.
-    std::int64_t total = 0;
-    for (std::size_t w = 0; w < _words; ++w) {
-        const std::uint64_t x1 = _x[i * _words + w];
-        const std::uint64_t z1 = _z[i * _words + w];
-        const std::uint64_t x2 = _x[h * _words + w];
-        const std::uint64_t z2 = _z[h * _words + w];
-
-        // Row i position is Y: g = z2 - x2.
-        const std::uint64_t y1 = x1 & z1;
-        std::uint64_t plus = y1 & z2 & ~x2;
-        std::uint64_t minus = y1 & x2 & ~z2;
-
-        // Row i position is X: g = z2 * (2*x2 - 1).
-        const std::uint64_t xonly = x1 & ~z1;
-        plus |= xonly & z2 & x2;
-        minus |= xonly & z2 & ~x2;
-
-        // Row i position is Z: g = x2 * (1 - 2*z2).
-        const std::uint64_t zonly = ~x1 & z1;
-        plus |= zonly & x2 & ~z2;
-        minus |= zonly & x2 & z2;
-
-        total += std::popcount(plus);
-        total -= std::popcount(minus);
-    }
-    return static_cast<int>(((total % 4) + 4) % 4);
-}
-
-void
-Tableau::rowsum(std::size_t h, std::size_t i)
-{
-    const int phase = (2 * _r[h] + 2 * _r[i] + phaseOfProduct(h, i)) % 4;
-    QUEST_ASSERT(phase == 0 || phase == 2,
-                 "rowsum produced imaginary phase %d", phase);
-    _r[h] = phase == 2 ? 1 : 0;
-    for (std::size_t w = 0; w < _words; ++w) {
-        _x[h * _words + w] ^= _x[i * _words + w];
-        _z[h * _words + w] ^= _z[i * _words + w];
-    }
+    auto &w = _z[col * _rw + row / wordBits];
+    const std::uint64_t mask = std::uint64_t(1) << (row % wordBits);
+    w = v ? (w | mask) : (w & ~mask);
 }
 
 void
 Tableau::h(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t row = 0; row < 2 * _n; ++row) {
-        const bool xv = getX(row, q);
-        const bool zv = getZ(row, q);
-        if (xv && zv)
-            _r[row] ^= 1;
-        setX(row, q, zv);
-        setZ(row, q, xv);
+    std::uint64_t *x = xcol(q);
+    std::uint64_t *z = zcol(q);
+    for (std::size_t w = 0; w < _rw; ++w) {
+        _r[w] ^= x[w] & z[w];
+        std::swap(x[w], z[w]);
     }
 }
 
@@ -155,12 +113,11 @@ void
 Tableau::s(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t row = 0; row < 2 * _n; ++row) {
-        const bool xv = getX(row, q);
-        const bool zv = getZ(row, q);
-        if (xv && zv)
-            _r[row] ^= 1;
-        setZ(row, q, zv ^ xv);
+    const std::uint64_t *x = xcol(q);
+    std::uint64_t *z = zcol(q);
+    for (std::size_t w = 0; w < _rw; ++w) {
+        _r[w] ^= x[w] & z[w];
+        z[w] ^= x[w];
     }
 }
 
@@ -176,27 +133,28 @@ void
 Tableau::x(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t row = 0; row < 2 * _n; ++row)
-        if (getZ(row, q))
-            _r[row] ^= 1;
+    const std::uint64_t *z = zcol(q);
+    for (std::size_t w = 0; w < _rw; ++w)
+        _r[w] ^= z[w];
 }
 
 void
 Tableau::z(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t row = 0; row < 2 * _n; ++row)
-        if (getX(row, q))
-            _r[row] ^= 1;
+    const std::uint64_t *x = xcol(q);
+    for (std::size_t w = 0; w < _rw; ++w)
+        _r[w] ^= x[w];
 }
 
 void
 Tableau::y(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t row = 0; row < 2 * _n; ++row)
-        if (getX(row, q) ^ getZ(row, q))
-            _r[row] ^= 1;
+    const std::uint64_t *x = xcol(q);
+    const std::uint64_t *z = zcol(q);
+    for (std::size_t w = 0; w < _rw; ++w)
+        _r[w] ^= x[w] ^ z[w];
 }
 
 void
@@ -204,15 +162,16 @@ Tableau::cnot(std::size_t control, std::size_t target)
 {
     QUEST_ASSERT(control < _n && target < _n && control != target,
                  "bad CNOT operands (%zu, %zu)", control, target);
-    for (std::size_t row = 0; row < 2 * _n; ++row) {
-        const bool xc = getX(row, control);
-        const bool zc = getZ(row, control);
-        const bool xt = getX(row, target);
-        const bool zt = getZ(row, target);
-        if (xc && zt && (xt == zc))
-            _r[row] ^= 1;
-        setX(row, target, xt ^ xc);
-        setZ(row, control, zc ^ zt);
+    std::uint64_t *xc = xcol(control);
+    std::uint64_t *zc = zcol(control);
+    std::uint64_t *xt = xcol(target);
+    std::uint64_t *zt = zcol(target);
+    for (std::size_t w = 0; w < _rw; ++w) {
+        // Sign flips where the row has X on the control, Z on the
+        // target and xt == zc (the CHP xc && zt && xt == zc rule).
+        _r[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+        xt[w] ^= xc[w];
+        zc[w] ^= zt[w];
     }
 }
 
@@ -250,22 +209,199 @@ Tableau::applyPauli(const PauliString &p)
 }
 
 int
+Tableau::selectedProductPhase(const std::uint64_t *m_src,
+                              const PauliString *expect) const
+{
+    // Carry-save Z4 phase planes indexed by row: after the column
+    // loop, row r's 2-bit counter (cnt2:cnt1 at bit r) holds the sum
+    // mod 4 of its g() contributions across all qubit columns.
+    thread_local std::vector<std::uint64_t> cnt1v;
+    thread_local std::vector<std::uint64_t> cnt2v;
+    cnt1v.assign(_rw, 0);
+    cnt2v.assign(_rw, 0);
+
+    for (std::size_t c = 0; c < _n; ++c) {
+        const std::uint64_t *x = xcol(c);
+        const std::uint64_t *z = zcol(c);
+        // All-zeros / all-ones masks carrying the running product's
+        // bit at this column across word boundaries.
+        std::uint64_t carry_x = 0;
+        std::uint64_t carry_z = 0;
+        for (std::size_t w = 0; w < _rw; ++w) {
+            const std::uint64_t x1 = x[w] & m_src[w];
+            const std::uint64_t z1 = z[w] & m_src[w];
+            // Exclusive prefix parity over the selected rows: at
+            // each selected row, the accumulated product's (x, z)
+            // bits at this column just before that row multiplies
+            // in — exactly the sequential rowsum's accumulator.
+            const std::uint64_t px = prefixXor(x1);
+            const std::uint64_t pz = prefixXor(z1);
+            const std::uint64_t x2 = (px << 1) ^ carry_x;
+            const std::uint64_t z2 = (pz << 1) ^ carry_z;
+            carry_x ^= std::uint64_t(0) - (px >> 63);
+            carry_z ^= std::uint64_t(0) - (pz >> 63);
+
+            // CHP g(x1, z1, x2, z2) as +1/-1 masks (x1/z1 already
+            // restrict to the selected rows).
+            const std::uint64_t y1 = x1 & z1;
+            const std::uint64_t xonly = x1 & ~z1;
+            const std::uint64_t zonly = ~x1 & z1;
+            const std::uint64_t plus = (y1 & z2 & ~x2)
+                                       | (xonly & z2 & x2)
+                                       | (zonly & x2 & ~z2);
+            const std::uint64_t minus = (y1 & x2 & ~z2)
+                                        | (xonly & z2 & ~x2)
+                                        | (zonly & x2 & z2);
+
+            const std::uint64_t up = cnt1v[w] & plus;
+            cnt1v[w] ^= plus;
+            cnt2v[w] ^= up;
+            const std::uint64_t down = ~cnt1v[w] & minus;
+            cnt1v[w] ^= minus;
+            cnt2v[w] ^= down;
+        }
+        if (expect) {
+            // Final carries hold the product's Pauli bits at this
+            // column; they must reconstruct the expected operator.
+            const Pauli prod = makePauli(carry_x & 1u, carry_z & 1u);
+            QUEST_ASSERT(prod == expect->at(c),
+                         "expectation reconstruction mismatch at "
+                         "qubit %zu",
+                         c);
+        }
+    }
+
+    std::int64_t total = 0;
+    for (std::size_t w = 0; w < _rw; ++w) {
+        total += std::popcount(cnt1v[w]);
+        total += 2 * std::popcount(cnt2v[w]);
+        total += 2 * std::popcount(_r[w] & m_src[w]);
+    }
+    return static_cast<int>(total % 4);
+}
+
+const std::uint64_t *
+Tableau::zProductMask(std::size_t q) const
+{
+    thread_local std::vector<std::uint64_t> m;
+    m.assign(_rw, 0);
+    // Z_q is the product of the stabilizers whose destabilizer
+    // partner anticommutes with it — rows i < n with an X bit in
+    // column q — so shift the destabilizer half of the column up by
+    // n into the stabilizer row range.
+    const std::uint64_t *cx = xcol(q);
+    const std::size_t ws = _n / wordBits;
+    const std::size_t bs = _n % wordBits;
+    for (std::size_t w = _rw; w-- > 0;) {
+        if (w < ws)
+            break;
+        const std::uint64_t lo = cx[w - ws] & rowsBelowWord(w - ws, _n);
+        std::uint64_t v = bs ? (lo << bs) : lo;
+        if (bs && w > ws)
+            v |= (cx[w - ws - 1] & rowsBelowWord(w - ws - 1, _n))
+                 >> (wordBits - bs);
+        m[w] = v;
+    }
+    return m.data();
+}
+
+bool
+Tableau::deterministicZ(std::size_t q) const
+{
+    const int phase = selectedProductPhase(zProductMask(q), nullptr);
+    QUEST_ASSERT(phase == 0 || phase == 2,
+                 "deterministic measurement with imaginary phase %d",
+                 phase);
+    return phase == 2;
+}
+
+int
 Tableau::peekZ(std::size_t q) const
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    for (std::size_t p = _n; p < 2 * _n; ++p)
-        if (getX(p, q))
+    const std::uint64_t *cx = xcol(q);
+    for (std::size_t w = _n / wordBits; w < _rw; ++w)
+        if (cx[w] & ~rowsBelowWord(w, _n))
             return -1; // outcome is random
+    return deterministicZ(q) ? 1 : 0;
+}
 
-    // Deterministic: accumulate the relevant stabilizers into the
-    // scratch row of a working copy (const method, so copy).
-    Tableau tmp = *this;
-    const std::size_t scratch = 2 * _n;
-    tmp.zeroRow(scratch);
-    for (std::size_t i = 0; i < _n; ++i)
-        if (tmp.getX(i, q))
-            tmp.rowsum(scratch, i + _n);
-    return tmp._r[scratch] ? 1 : 0;
+void
+Tableau::collapseRandom(std::size_t q, std::size_t p, bool outcome)
+{
+    // Every row with an X bit in column q (other than p and its
+    // destabilizer partner) gets stabilizer row p multiplied in; the
+    // row mask lets all of those rowsums share one pass over the
+    // columns, with each row's Z4 phase tracked in two carry-save
+    // bit planes.
+    thread_local std::vector<std::uint64_t> m;
+    thread_local std::vector<std::uint64_t> cnt1v;
+    thread_local std::vector<std::uint64_t> cnt2v;
+    m.assign(xcol(q), xcol(q) + _rw);
+    cnt1v.assign(_rw, 0);
+    cnt2v.assign(_rw, 0);
+    const std::size_t d = p - _n;
+    m[p / wordBits] &= ~(std::uint64_t(1) << (p % wordBits));
+    m[d / wordBits] &= ~(std::uint64_t(1) << (d % wordBits));
+
+    const bool rp = getBitVec(_r, p);
+    for (std::size_t c = 0; c < _n; ++c) {
+        std::uint64_t *x = xcol(c);
+        std::uint64_t *z = zcol(c);
+        const bool x1 = getX(p, c);
+        const bool z1 = getZ(p, c);
+        if (!x1 && !z1)
+            continue; // identity at this column: no phase, no flip
+        for (std::size_t w = 0; w < _rw; ++w) {
+            const std::uint64_t mw = m[w];
+            const std::uint64_t x2 = x[w];
+            const std::uint64_t z2 = z[w];
+            std::uint64_t plus, minus;
+            if (x1 && z1) {
+                plus = z2 & ~x2;
+                minus = x2 & ~z2;
+            } else if (x1) {
+                plus = z2 & x2;
+                minus = z2 & ~x2;
+            } else {
+                plus = x2 & ~z2;
+                minus = x2 & z2;
+            }
+            plus &= mw;
+            minus &= mw;
+
+            const std::uint64_t up = cnt1v[w] & plus;
+            cnt1v[w] ^= plus;
+            cnt2v[w] ^= up;
+            const std::uint64_t down = ~cnt1v[w] & minus;
+            cnt1v[w] ^= minus;
+            cnt2v[w] ^= down;
+
+            if (x1)
+                x[w] ^= mw;
+            if (z1)
+                z[w] ^= mw;
+        }
+    }
+    for (std::size_t w = 0; w < _rw; ++w) {
+        // Per-row phase (2*r_h + 2*r_p + sum g) must be real, i.e.
+        // each selected row's g total must be even.
+        QUEST_ASSERT((cnt1v[w] & m[w]) == 0,
+                     "rowsum produced imaginary phase");
+        _r[w] ^= (cnt2v[w] & m[w]) ^ (rp ? m[w] : std::uint64_t(0));
+    }
+
+    // Row p becomes Z_q with the measured sign; its old value moves
+    // down to the destabilizer slot.
+    for (std::size_t c = 0; c < _n; ++c) {
+        setX(d, c, getX(p, c));
+        setZ(d, c, getZ(p, c));
+        setX(p, c, false);
+        setZ(p, c, false);
+    }
+    setBitVec(_r, d, rp);
+    setZ(p, q, true);
+    setBitVec(_r, p, outcome);
 }
 
 bool
@@ -274,38 +410,18 @@ Tableau::measureZ(std::size_t q, sim::Rng &rng)
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
 
     // Look for a stabilizer anticommuting with Z_q.
-    std::size_t p = 0;
-    bool found = false;
-    for (std::size_t row = _n; row < 2 * _n; ++row) {
-        if (getX(row, q)) {
-            p = row;
-            found = true;
-            break;
+    const std::uint64_t *cx = xcol(q);
+    for (std::size_t w = _n / wordBits; w < _rw; ++w) {
+        const std::uint64_t hit = cx[w] & ~rowsBelowWord(w, _n);
+        if (hit) {
+            const std::size_t p =
+                w * wordBits + std::size_t(std::countr_zero(hit));
+            const bool outcome = rng.bernoulli(0.5);
+            collapseRandom(q, p, outcome);
+            return outcome;
         }
     }
-
-    if (found) {
-        // Random outcome. Skip destabilizer p-n: it may anticommute
-        // with row p (imaginary product) and is overwritten by the
-        // copy below anyway.
-        for (std::size_t row = 0; row < 2 * _n; ++row)
-            if (row != p && row != p - _n && getX(row, q))
-                rowsum(row, p);
-        copyRow(p - _n, p);
-        zeroRow(p);
-        setZ(p, q, true);
-        const bool outcome = rng.bernoulli(0.5);
-        _r[p] = outcome ? 1 : 0;
-        return outcome;
-    }
-
-    // Deterministic outcome.
-    const std::size_t scratch = 2 * _n;
-    zeroRow(scratch);
-    for (std::size_t i = 0; i < _n; ++i)
-        if (getX(i, q))
-            rowsum(scratch, i + _n);
-    return _r[scratch] != 0;
+    return deterministicZ(q);
 }
 
 void
@@ -323,7 +439,7 @@ Tableau::stabilizer(std::size_t i) const
     const std::size_t row = _n + i;
     for (std::size_t q = 0; q < _n; ++q)
         out.set(q, makePauli(getX(row, q), getZ(row, q)));
-    out.setPhaseExponent(_r[row] ? 2 : 0);
+    out.setPhaseExponent(getBitVec(_r, row) ? 2 : 0);
     return out;
 }
 
@@ -334,7 +450,7 @@ Tableau::destabilizer(std::size_t i) const
     PauliString out(_n);
     for (std::size_t q = 0; q < _n; ++q)
         out.set(q, makePauli(getX(i, q), getZ(i, q)));
-    out.setPhaseExponent(_r[i] ? 2 : 0);
+    out.setPhaseExponent(getBitVec(_r, i) ? 2 : 0);
     return out;
 }
 
@@ -345,33 +461,52 @@ Tableau::expectation(const PauliString &p) const
                  "Pauli size %zu does not match tableau size %zu",
                  p.size(), _n);
 
-    // If p anticommutes with any stabilizer, <p> = 0.
-    for (std::size_t i = 0; i < _n; ++i)
-        if (!stabilizer(i).commutesWith(p))
-            return 0;
-
-    // Otherwise p is (up to sign) a product of stabilizers: find the
-    // combination via the destabilizers. Stabilizer j participates
-    // iff p anticommutes with destabilizer j.
-    Tableau tmp = *this;
-    const std::size_t scratch = 2 * _n;
-    tmp.zeroRow(scratch);
-    for (std::size_t j = 0; j < _n; ++j)
-        if (!destabilizer(j).commutesWith(p))
-            tmp.rowsum(scratch, _n + j);
-
-    // Rebuild the accumulated operator and compare with p.
-    PauliString acc(_n);
-    for (std::size_t q = 0; q < _n; ++q)
-        acc.set(q, makePauli(tmp.getX(scratch, q), tmp.getZ(scratch, q)));
-    for (std::size_t q = 0; q < _n; ++q) {
-        QUEST_ASSERT(acc.at(q) == p.at(q),
-                     "expectation reconstruction mismatch at qubit %zu", q);
+    // Anticommutation parity of every row with p at once: row r
+    // anticommutes iff sum_c (x_rc & pz_c) ^ (z_rc & px_c) is odd.
+    thread_local std::vector<std::uint64_t> par;
+    par.assign(_rw, 0);
+    for (std::size_t c = 0; c < _n; ++c) {
+        const Pauli pc = p.at(c);
+        if (pauliZ(pc)) {
+            const std::uint64_t *x = xcol(c);
+            for (std::size_t w = 0; w < _rw; ++w)
+                par[w] ^= x[w];
+        }
+        if (pauliX(pc)) {
+            const std::uint64_t *z = zcol(c);
+            for (std::size_t w = 0; w < _rw; ++w)
+                par[w] ^= z[w];
+        }
     }
 
-    const std::uint8_t acc_phase = tmp._r[scratch] ? 2 : 0;
-    const std::uint8_t rel =
-        static_cast<std::uint8_t>((acc_phase - p.phaseExponent()) & 3u);
+    // If p anticommutes with any stabilizer, <p> = 0.
+    for (std::size_t w = _n / wordBits; w < _rw; ++w)
+        if (par[w] & ~rowsBelowWord(w, _n))
+            return 0;
+
+    // Otherwise p is (up to sign) the product of the stabilizers
+    // whose destabilizer partner anticommutes with it: shift the
+    // destabilizer half of the parity column into stabilizer range
+    // and fold the selected product's phase word-parallel.
+    thread_local std::vector<std::uint64_t> m_src;
+    m_src.assign(_rw, 0);
+    const std::size_t ws = _n / wordBits;
+    const std::size_t bs = _n % wordBits;
+    for (std::size_t w = _rw; w-- > 0;) {
+        if (w < ws)
+            break;
+        const std::uint64_t lo =
+            par[w - ws] & rowsBelowWord(w - ws, _n);
+        std::uint64_t v = bs ? (lo << bs) : lo;
+        if (bs && w > ws)
+            v |= (par[w - ws - 1] & rowsBelowWord(w - ws - 1, _n))
+                 >> (wordBits - bs);
+        m_src[w] = v;
+    }
+
+    const int acc_phase = selectedProductPhase(m_src.data(), &p);
+    const std::uint8_t rel = static_cast<std::uint8_t>(
+        (acc_phase - p.phaseExponent()) & 3u);
     QUEST_ASSERT(rel == 0 || rel == 2, "imaginary expectation phase");
     return rel == 0 ? 1 : -1;
 }

@@ -1,13 +1,25 @@
 /**
  * @file
- * CHP-style stabilizer tableau simulator.
+ * CHP-style stabilizer tableau simulator, word-parallel edition.
  *
  * Implements the Aaronson-Gottesman binary tableau representation of
- * stabilizer states: n destabilizer rows, n stabilizer rows and one
- * scratch row, each holding bit-packed X and Z components plus a
- * sign bit. All Clifford gates used by the surface code circuits
- * (H, S, CNOT, CZ, Paulis, preparation and Z-basis measurement) are
- * supported in O(n) per gate and O(n^2) per measurement.
+ * stabilizer states: n destabilizer rows and n stabilizer rows, each
+ * holding X and Z components plus a sign bit. All Clifford gates used
+ * by the surface code circuits (H, S, CNOT, CZ, Paulis, preparation
+ * and Z-basis measurement) are supported.
+ *
+ * Layout: the bit matrices are stored *column-major* — for every
+ * qubit column q there is one bit-vector over the 2n generator rows
+ * (row r lives at bit r%64 of word r/64). A gate on qubit q touches
+ * only columns q (and its partner), so each gate is O(2n/64) whole-
+ * word operations instead of 2n per-bit get/set round trips; the
+ * sign row is a bit-vector updated with the same word ops. Random
+ * measurement collapses do every required rowsum simultaneously via
+ * a row-mask (one XOR per column word) with the Z4 phase tracked in
+ * two carry-save bit planes; deterministic outcomes (and
+ * expectation values) are computed without mutating or copying the
+ * tableau using word-wide prefix-parity accumulation, with
+ * popcounts folding the per-row phase counters at the end.
  *
  * The tableau is the ground-truth quantum substrate: the
  * surface-code syndrome circuits in src/qecc are executed against it
@@ -78,6 +90,11 @@ class Tableau
      * @return +1/-1 if the given Pauli operator is a deterministic
      *         stabilizer/anti-stabilizer of the state, 0 if its
      *         expectation is zero (random measurement outcome).
+     *
+     * Const-safe and allocation-free in steady state: the working
+     * row masks and phase planes live in reusable thread_local
+     * scratch, so concurrent expectation() calls on a shared
+     * tableau never contend or copy the state.
      */
     int expectation(const PauliString &p) const;
 
@@ -86,29 +103,60 @@ class Tableau
 
   private:
     std::size_t _n;
-    std::size_t _words;
+    std::size_t _rw; ///< words per column bit-vector (ceil(2n/64))
 
-    // Row-major bit matrices; row i occupies words [i*_words, (i+1)*_words).
-    // Rows 0..n-1: destabilizers; n..2n-1: stabilizers; 2n: scratch.
+    // Column-major bit matrices: qubit column q occupies words
+    // [q*_rw, (q+1)*_rw); bit r of the vector is generator row r.
+    // Rows 0..n-1: destabilizers; n..2n-1: stabilizers. Bits >= 2n
+    // of the top word are always zero (all updates are row-masked
+    // linear ops, so the invariant is preserved).
     std::vector<std::uint64_t> _x;
     std::vector<std::uint64_t> _z;
-    std::vector<std::uint8_t> _r; // sign bits (1 == overall -1)
+    std::vector<std::uint64_t> _r; ///< sign bit-vector (1 == -1)
+
+    std::uint64_t *xcol(std::size_t q) { return &_x[q * _rw]; }
+    std::uint64_t *zcol(std::size_t q) { return &_z[q * _rw]; }
+    const std::uint64_t *xcol(std::size_t q) const
+    {
+        return &_x[q * _rw];
+    }
+    const std::uint64_t *zcol(std::size_t q) const
+    {
+        return &_z[q * _rw];
+    }
 
     bool getX(std::size_t row, std::size_t col) const;
     bool getZ(std::size_t row, std::size_t col) const;
     void setX(std::size_t row, std::size_t col, bool v);
     void setZ(std::size_t row, std::size_t col, bool v);
-    void zeroRow(std::size_t row);
-    void copyRow(std::size_t dst, std::size_t src);
-
-    /** Multiply row h by row i (the CHP "rowsum" with phase). */
-    void rowsum(std::size_t h, std::size_t i);
 
     /**
-     * Compute the Z4 phase contribution of multiplying row i into a
-     * row described by raw word spans (used by rowsum).
+     * Multiply stabilizer row p into every row selected by the mask
+     * `m` at once (the batched CHP rowsum of a random-outcome
+     * collapse), then rewrite row p-n := old row p and row p := Z_q
+     * with the measured sign.
      */
-    int phaseOfProduct(std::size_t h, std::size_t i) const;
+    void collapseRandom(std::size_t q, std::size_t p, bool outcome);
+
+    /**
+     * Z4 phase of the ordered product of the stabilizer rows
+     * selected by `m_src` (ascending row order, identity start),
+     * including their sign bits. When `expect` is non-null the
+     * product's Pauli bits are asserted to equal `expect` column by
+     * column (the expectation() reconstruction check).
+     */
+    int selectedProductPhase(const std::uint64_t *m_src,
+                             const PauliString *expect) const;
+
+    /**
+     * Row mask of the stabilizer rows whose product is Z_q (the
+     * destabilizer-x column shifted into stabilizer row range),
+     * written into thread_local scratch; @return the scratch span.
+     */
+    const std::uint64_t *zProductMask(std::size_t q) const;
+
+    /** Deterministic Z outcome of qubit q (no state disturbance). */
+    bool deterministicZ(std::size_t q) const;
 };
 
 } // namespace quest::quantum

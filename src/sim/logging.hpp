@@ -77,6 +77,21 @@ bool quiet();
             ::quest::sim::panicAssert(#cond, __VA_ARGS__);                  \
     } while (0)
 
+/**
+ * Debug-only assert for hot-path index checks: compiles to nothing
+ * in optimised (NDEBUG) builds so inner loops carry no bounds
+ * checks, but still panics with full context in Debug/coverage
+ * builds. Define QUEST_FORCE_DEBUG_ASSERTS to keep the checks in an
+ * optimised build while chasing a corruption.
+ */
+#if !defined(NDEBUG) || defined(QUEST_FORCE_DEBUG_ASSERTS)
+#define QUEST_DEBUG_ASSERT(cond, ...) QUEST_ASSERT(cond, __VA_ARGS__)
+#else
+#define QUEST_DEBUG_ASSERT(cond, ...)                                       \
+    do {                                                                    \
+    } while (0)
+#endif
+
 } // namespace quest::sim
 
 #endif // QUEST_SIM_LOGGING_HPP

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Differential tests for the bit-parallel batched Pauli-frame
+ * engine: a BatchPauliFrame run must be *bit-identical* to 64
+ * scalar PauliFrame runs fed the same (seed, trial) Rng substreams
+ * — same syndrome flips, same residual error frames, same
+ * detection-event sets — across surface-code distances and for any
+ * thread count when batches fan out on a ThreadPool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "decode/detection.hpp"
+#include "qecc/extractor.hpp"
+#include "quantum/batch_pauli_frame.hpp"
+#include "quantum/error_model.hpp"
+#include "sim/parallel.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace quest;
+using quantum::BatchErrorChannel;
+using quantum::BatchPauliFrame;
+using quantum::ErrorChannel;
+using quantum::ErrorRates;
+using quantum::PauliFrame;
+
+constexpr std::uint64_t diffSeed = 0xBA7C4ull;
+
+// ---------------------------------------------------------------
+// Kernel-level equivalence: every batch op == 64 scalar ops.
+// ---------------------------------------------------------------
+
+TEST(BatchFrame, KernelsMatchScalarOpForOp)
+{
+    const std::size_t n = 9;
+    sim::Rng rng = sim::Rng::substream(diffSeed, 7);
+    BatchPauliFrame batch(n);
+    std::vector<PauliFrame> scalars(BatchPauliFrame::lanes,
+                                    PauliFrame(n));
+
+    for (int step = 0; step < 500; ++step) {
+        const std::size_t q = rng.uniformInt(n);
+        switch (rng.uniformInt(6)) {
+          case 0: {
+            const std::uint64_t mask = rng.next();
+            batch.injectX(q, mask);
+            for (std::size_t t = 0; t < scalars.size(); ++t)
+                if ((mask >> t) & 1u)
+                    scalars[t].injectX(q);
+            break;
+          }
+          case 1: {
+            const std::uint64_t mask = rng.next();
+            batch.injectZ(q, mask);
+            for (std::size_t t = 0; t < scalars.size(); ++t)
+                if ((mask >> t) & 1u)
+                    scalars[t].injectZ(q);
+            break;
+          }
+          case 2:
+            batch.h(q);
+            for (auto &f : scalars)
+                f.h(q);
+            break;
+          case 3:
+            batch.s(q);
+            for (auto &f : scalars)
+                f.s(q);
+            break;
+          case 4: {
+            const std::size_t r = (q + 1) % n;
+            batch.cnot(q, r);
+            for (auto &f : scalars)
+                f.cnot(q, r);
+            break;
+          }
+          case 5: {
+            const std::size_t r = (q + 1) % n;
+            batch.cz(q, r);
+            for (auto &f : scalars)
+                f.cz(q, r);
+            break;
+          }
+        }
+    }
+
+    for (std::size_t t = 0; t < scalars.size(); ++t) {
+        for (std::size_t q = 0; q < n; ++q) {
+            ASSERT_EQ(batch.xError(q, t), scalars[t].xError(q))
+                << "lane " << t << " qubit " << q;
+            ASSERT_EQ(batch.zError(q, t), scalars[t].zError(q))
+                << "lane " << t << " qubit " << q;
+            ASSERT_EQ(batch.measureZFlipMask(q) >> t & 1u,
+                      std::uint64_t(scalars[t].measureZFlip(q)));
+        }
+        ASSERT_EQ(batch.laneWeight(t), scalars[t].weight());
+        ASSERT_EQ(batch.extractLane(t).toPauliString().weight(),
+                  scalars[t].toPauliString().weight());
+    }
+}
+
+// ---------------------------------------------------------------
+// Full syndrome-extraction equivalence per distance.
+// ---------------------------------------------------------------
+
+struct ScalarTrial
+{
+    std::vector<qecc::SyndromeRound> history;
+    PauliFrame frame{1};
+    decode::DetectionEvents events;
+};
+
+class BatchSweepDifferential
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BatchSweepDifferential, LanesMatchScalarTrials)
+{
+    const std::size_t d = GetParam();
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
+    const auto schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
+    const qecc::SyndromeExtractor extractor(schedule);
+    const ErrorRates rates = ErrorRates::uniform(2e-3);
+    const std::size_t rounds = d;
+
+    // 64 scalar reference trials: trial t draws only from
+    // Rng::substream(diffSeed, t).
+    std::vector<ScalarTrial> ref(BatchPauliFrame::lanes);
+    for (std::size_t t = 0; t < ref.size(); ++t) {
+        sim::Rng rng = sim::Rng::substream(diffSeed, t);
+        ErrorChannel channel(rates, rng);
+        ref[t].frame = PauliFrame(lattice.numQubits());
+        ref[t].history = extractor.runRounds(ref[t].frame, &channel,
+                                             rounds);
+        ref[t].history.push_back(
+            extractor.runRound(ref[t].frame, nullptr));
+        ref[t].events =
+            decode::extractDetectionEvents(ref[t].history, extractor);
+    }
+
+    // One batched run covering the same 64 trials.
+    BatchPauliFrame frame(lattice.numQubits());
+    BatchErrorChannel channel(rates, diffSeed, 0);
+    auto history = extractor.runRoundsBatch(frame, &channel, rounds);
+    history.push_back(extractor.runRoundBatch(frame, nullptr));
+    const auto events =
+        decode::extractDetectionEventsBatch(history, extractor);
+
+    ASSERT_EQ(events.size(), BatchPauliFrame::lanes);
+    for (std::size_t t = 0; t < BatchPauliFrame::lanes; ++t) {
+        // Syndrome flips, round by round.
+        ASSERT_EQ(history.size(), ref[t].history.size());
+        for (std::size_t r = 0; r < history.size(); ++r) {
+            const qecc::SyndromeRound lane = history[r].lane(t);
+            EXPECT_EQ(lane.xFlips, ref[t].history[r].xFlips)
+                << "lane " << t << " round " << r;
+            EXPECT_EQ(lane.zFlips, ref[t].history[r].zFlips)
+                << "lane " << t << " round " << r;
+        }
+        // Residual error frame.
+        for (std::size_t q = 0; q < lattice.numQubits(); ++q) {
+            ASSERT_EQ(frame.xError(q, t), ref[t].frame.xError(q))
+                << "lane " << t << " qubit " << q;
+            ASSERT_EQ(frame.zError(q, t), ref[t].frame.zError(q))
+                << "lane " << t << " qubit " << q;
+        }
+        // Detection events, including ordering.
+        EXPECT_EQ(events[t].xEvents, ref[t].events.xEvents)
+            << "lane " << t;
+        EXPECT_EQ(events[t].zEvents, ref[t].events.zEvents)
+            << "lane " << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, BatchSweepDifferential,
+                         ::testing::Values(3u, 5u, 7u));
+
+// ---------------------------------------------------------------
+// Thread-count invariance of a batched sweep.
+// ---------------------------------------------------------------
+
+/** Order-independent-free digest: per-batch slot, then fold. */
+std::vector<std::uint64_t>
+runBatchedSweep(std::size_t threads)
+{
+    const std::size_t d = 5;
+    const std::uint64_t batches = 4; // 256 trials
+    const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
+    const auto schedule = qecc::buildRoundSchedule(
+        lattice, qecc::protocolSpec(qecc::Protocol::Steane));
+    const qecc::SyndromeExtractor extractor(schedule);
+
+    sim::ThreadPool pool(threads);
+    return sim::parallelMap<std::uint64_t>(
+        pool, batches, [&](std::uint64_t b) {
+            BatchPauliFrame frame(lattice.numQubits());
+            // Lane t of batch b is trial b*64 + t.
+            BatchErrorChannel channel(ErrorRates::uniform(3e-3),
+                                      diffSeed,
+                                      b * BatchPauliFrame::lanes);
+            const auto history =
+                extractor.runRoundsBatch(frame, &channel, d);
+            std::uint64_t digest = 0xcbf29ce484222325ull;
+            auto mix = [&digest](std::uint64_t w) {
+                digest = (digest ^ w) * 0x100000001b3ull;
+            };
+            for (const auto &round : history) {
+                for (const std::uint64_t w : round.xFlips)
+                    mix(w);
+                for (const std::uint64_t w : round.zFlips)
+                    mix(w);
+            }
+            for (std::size_t q = 0; q < lattice.numQubits(); ++q) {
+                mix(frame.measureZFlipMask(q));
+                mix(frame.measureXFlipMask(q));
+            }
+            return digest;
+        });
+}
+
+TEST(BatchFrame, SweepBitIdenticalAcrossThreadCounts)
+{
+    const auto one = runBatchedSweep(1);
+    const auto two = runBatchedSweep(2);
+    const auto five = runBatchedSweep(5);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, five);
+}
+
+} // namespace

@@ -35,6 +35,7 @@ constexpr std::uint64_t goldenSeed = 0x601Dull;
 constexpr std::size_t goldenDistance = 5;
 constexpr std::size_t goldenRounds = 100;
 constexpr std::uint64_t goldenTrials = 32;
+constexpr std::uint64_t goldenBatches = 2;
 
 struct GoldenRun
 {
@@ -88,6 +89,29 @@ runGolden(std::size_t threads)
             decoder.decode(events);
         });
 
+        // Phase 3: the same sweep through the bit-parallel batch
+        // engine — two 64-lane batches fanned out on the pool. The
+        // batch counters (qecc.batch.*) and the per-lane decodes
+        // must land in the snapshot identically for every thread
+        // count: lane t of batch b is trial b*64 + t by
+        // construction, so scheduling cannot reorder any draw.
+        sim::parallelFor(pool, goldenBatches, [&](std::uint64_t b) {
+            quantum::BatchPauliFrame frame(lattice.numQubits());
+            quantum::BatchErrorChannel channel(
+                quantum::ErrorRates{3e-3, 0, 0, 0, 3e-3},
+                goldenSeed,
+                b * quantum::BatchPauliFrame::lanes);
+            auto history = extractor.runRoundsBatch(
+                frame, &channel, goldenDistance);
+            history.push_back(
+                extractor.runRoundBatch(frame, nullptr));
+            const auto events =
+                decode::extractDetectionEventsBatch(history,
+                                                    extractor);
+            for (const auto &lane : events)
+                decoder.decode(lane);
+        });
+
         // Snapshot while the master's stat tree is still attached.
         out.snapshot = sim::metricsSnapshot();
         out.digest = tracer.countDigest();
@@ -108,6 +132,11 @@ TEST(GoldenTrace, WorkloadProducesObservableActivity)
               std::string::npos);
     EXPECT_NE(r.snapshot.find("master.bus_bytes_syndrome"),
               std::string::npos);
+    // Batched engine accounting: 2 batches x (d noisy + 1 quiet)
+    // rounds must be witnessed exactly.
+    EXPECT_NE(r.snapshot.find("qecc.batch.rounds 12"),
+              std::string::npos)
+        << r.snapshot;
     if (sim::traceCompiledIn())
         EXPECT_NE(r.digest, sim::emptyTraceDigest);
 }

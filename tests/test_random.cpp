@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/batch_random.hpp"
 #include "sim/random.hpp"
 
 namespace {
 
+using quest::sim::BatchRng;
 using quest::sim::Rng;
 
 TEST(Random, SameSeedSameSequence)
@@ -83,6 +85,63 @@ TEST(Random, BernoulliEdgeCases)
         EXPECT_TRUE(rng.bernoulli(1.0));
         EXPECT_FALSE(rng.bernoulli(-1.0));
         EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+/**
+ * The batch engine's compatibility contract: lane t of
+ * BatchRng(seed, first) is draw-for-draw identical to
+ * Rng::substream(seed, first + t). Every downstream bit-identity
+ * guarantee (batched sweeps reproducing scalar sweeps) rests on
+ * this.
+ */
+TEST(BatchRandom, LanesMatchSubstreamsRawDraws)
+{
+    const std::uint64_t seed = 0xFEED5EEDull;
+    const std::uint64_t first = 37;
+    BatchRng batch(seed, first);
+    for (std::size_t t = 0; t < BatchRng::lanes; ++t) {
+        Rng scalar = Rng::substream(seed, first + t);
+        for (int i = 0; i < 64; ++i)
+            ASSERT_EQ(batch.next(t), scalar.next())
+                << "lane " << t << " draw " << i;
+    }
+}
+
+TEST(BatchRandom, BernoulliMaskMatchesScalarBernoulli)
+{
+    const std::uint64_t seed = 0xB17Bull;
+    BatchRng batch(seed, 0);
+    std::vector<Rng> scalars;
+    for (std::size_t t = 0; t < BatchRng::lanes; ++t)
+        scalars.push_back(Rng::substream(seed, t));
+
+    // Interleave edge cases with real probabilities: the p <= 0 and
+    // p >= 1 short-circuits must not consume a draw on either side,
+    // or the streams drift apart at the next real site.
+    const double ps[] = { 0.3, 0.0, 1.0, 0.007, -1.0, 2.0, 0.5 };
+    for (int rep = 0; rep < 50; ++rep) {
+        for (const double p : ps) {
+            const std::uint64_t mask = batch.bernoulliMask(p);
+            for (std::size_t t = 0; t < BatchRng::lanes; ++t)
+                ASSERT_EQ((mask >> t) & 1u,
+                          std::uint64_t(scalars[t].bernoulli(p)))
+                    << "p=" << p << " lane " << t;
+        }
+    }
+}
+
+TEST(BatchRandom, UniformIntMatchesScalar)
+{
+    const std::uint64_t seed = 0xCAFEull;
+    BatchRng batch(seed, 128);
+    for (std::size_t t = 0; t < BatchRng::lanes; ++t) {
+        Rng scalar = Rng::substream(seed, 128 + t);
+        for (const std::uint64_t bound : { 3ull, 15ull, 10ull })
+            for (int i = 0; i < 20; ++i)
+                ASSERT_EQ(batch.uniformInt(t, bound),
+                          scalar.uniformInt(bound))
+                    << "lane " << t << " bound " << bound;
     }
 }
 

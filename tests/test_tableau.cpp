@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "quantum/tableau.hpp"
 #include "sim/random.hpp"
 
@@ -213,6 +216,111 @@ TEST(TableauProperty, InvariantsUnderRandomCircuits)
         }
         ASSERT_TRUE(t.checkInvariants()) << "trial " << trial;
     }
+}
+
+/**
+ * The word-parallel kernels must behave identically when the 2n+
+ * generator rows span several 64-bit words (n > 32 crosses the row
+ * word boundary; n = 70 also exercises a partially filled top word
+ * and the destabilizer->stabilizer mask shift with a non-zero bit
+ * offset).
+ */
+TEST(TableauProperty, InvariantsAcrossWordBoundaries)
+{
+    Rng rng(4321);
+    for (const std::size_t n : { 32u, 33u, 64u, 70u }) {
+        Tableau t(n);
+        for (int g = 0; g < 400; ++g) {
+            switch (rng.uniformInt(6)) {
+              case 0: t.h(rng.uniformInt(n)); break;
+              case 1: t.s(rng.uniformInt(n)); break;
+              case 2: {
+                std::size_t a = rng.uniformInt(n);
+                std::size_t b = rng.uniformInt(n);
+                if (a != b)
+                    t.cnot(a, b);
+                break;
+              }
+              case 3: t.x(rng.uniformInt(n)); break;
+              case 4: t.measureZ(rng.uniformInt(n), rng); break;
+              case 5: {
+                const std::size_t q = rng.uniformInt(n);
+                const int peek = t.peekZ(q);
+                if (peek >= 0)
+                    ASSERT_EQ(t.measureZ(q, rng) ? 1 : 0, peek);
+                break;
+              }
+            }
+        }
+        ASSERT_TRUE(t.checkInvariants()) << "n=" << n;
+        // Every stabilizer generator has expectation +1 by
+        // definition; its negation -1 (exercises the word-parallel
+        // selected-product phase fold at every size).
+        for (std::size_t i = 0; i < n; ++i) {
+            PauliString s = t.stabilizer(i);
+            ASSERT_EQ(t.expectation(s), 1) << "n=" << n;
+            s.setPhaseExponent((s.phaseExponent() + 2) & 3u);
+            ASSERT_EQ(t.expectation(s), -1) << "n=" << n;
+        }
+    }
+}
+
+/**
+ * expectation() is const and copy-free: many threads hammering the
+ * same shared tableau must each get the right answer (the working
+ * buffers are thread_local scratch, not a tableau copy, so this
+ * also guards against any future regression that adds shared
+ * mutable state to the read path).
+ */
+TEST(Tableau, ExpectationConcurrentOnSharedTableau)
+{
+    const std::size_t n = 70;
+    Tableau t(n);
+    Rng rng(99);
+    for (int g = 0; g < 300; ++g) {
+        switch (rng.uniformInt(4)) {
+          case 0: t.h(rng.uniformInt(n)); break;
+          case 1: t.s(rng.uniformInt(n)); break;
+          case 2: {
+            std::size_t a = rng.uniformInt(n);
+            std::size_t b = rng.uniformInt(n);
+            if (a != b)
+                t.cnot(a, b);
+            break;
+          }
+          case 3: t.x(rng.uniformInt(n)); break;
+        }
+    }
+
+    // Expected answers computed single-threaded first.
+    std::vector<PauliString> probes;
+    std::vector<int> want;
+    for (std::size_t i = 0; i < n; ++i) {
+        probes.push_back(t.stabilizer(i));
+        want.push_back(1);
+        PauliString neg = t.stabilizer(i);
+        neg.setPhaseExponent((neg.phaseExponent() + 2) & 3u);
+        probes.push_back(neg);
+        want.push_back(-1);
+        probes.push_back(t.destabilizer(i));
+        want.push_back(t.expectation(t.destabilizer(i)));
+    }
+
+    const Tableau &shared = t;
+    std::vector<std::thread> workers;
+    std::vector<int> bad(8, 0);
+    for (int w = 0; w < 8; ++w) {
+        workers.emplace_back([&, w] {
+            for (int rep = 0; rep < 20; ++rep)
+                for (std::size_t i = 0; i < probes.size(); ++i)
+                    if (shared.expectation(probes[i]) != want[i])
+                        ++bad[std::size_t(w)];
+        });
+    }
+    for (auto &th : workers)
+        th.join();
+    for (int w = 0; w < 8; ++w)
+        EXPECT_EQ(bad[std::size_t(w)], 0) << "worker " << w;
 }
 
 /** Property: peekZ predicts measureZ whenever deterministic. */
