@@ -70,6 +70,15 @@ class LogicalInstructionCache
 
     /** LRU order: front == most recent. Values: block sizes. */
     std::list<std::pair<std::uint32_t, std::size_t>> _lru;
+
+    /**
+     * Determinism note: this unordered map is point-access only
+     * (find / contains / erase / insert) -- eviction order and every
+     * result-affecting decision come from `_lru`, so the map's
+     * implementation-defined iteration order can never leak into
+     * simulation results. Iterating it would break that contract;
+     * tools/quest_lint (det-unordered-iteration) guards the rule.
+     */
     std::unordered_map<std::uint32_t, decltype(_lru)::iterator> _index;
 
     sim::StatGroup _stats;

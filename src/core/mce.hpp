@@ -61,7 +61,29 @@ struct MceConfig
     quantum::ErrorRates errorRates = quantum::ErrorRates::none();
     std::size_t icacheCapacity = 1024; ///< instructions; 0 disables
     std::uint64_t seed = 1;
+
+    /** Run the installed pre-flight verifier over the tile's
+     *  artifacts at construction (see setPreflightVerifier). */
+    bool verifyOnLoad = false;
 };
+
+class Mce;
+
+/**
+ * Pre-flight verification hook. The static verifier (src/verify)
+ * sits above this library in the link order, so the load-path gate
+ * is dependency-injected: verify::installPreflightGate() registers
+ * a function here, and any Mce constructed with
+ * `MceConfig::verifyOnLoad` runs it before accepting the tile. The
+ * hook must raise sim::SimError to reject the artifacts.
+ */
+using PreflightVerifier = void (*)(const Mce &mce);
+
+/** Install (or clear, with nullptr) the pre-flight hook. */
+void setPreflightVerifier(PreflightVerifier fn);
+
+/** The installed hook, or nullptr. */
+PreflightVerifier preflightVerifier();
 
 /** One Microcoded Control Engine. */
 class Mce
@@ -72,6 +94,14 @@ class Mce
     const std::string &name() const { return _name; }
     const MceConfig &config() const { return _cfg; }
     const qecc::Lattice &lattice() const { return *_lattice; }
+
+    /** The canonical (unmasked) QECC microcode program this tile
+     *  replays — what the pre-flight verifier inspects. */
+    const qecc::RoundSchedule &baseSchedule() const
+    {
+        return *_baseSchedule;
+    }
+
     quantum::PauliFrame &frame() { return _frame; }
     LogicalInstructionCache &icache() { return _icache; }
     MaskTable &maskTable() { return _mask; }

@@ -1,0 +1,184 @@
+#include "diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace quest::verify {
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+    }
+    sim::panic("invalid severity %d", int(s));
+}
+
+std::string
+Site::toString() const
+{
+    std::string out = artifact;
+    if (subCycle >= 0)
+        out += " sub-cycle " + std::to_string(subCycle);
+    if (qubit >= 0)
+        out += " q" + std::to_string(qubit);
+    if (index >= 0)
+        out += " #" + std::to_string(index);
+    return out;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    return severityName(severity) + " [" + code + "] "
+        + site.toString() + ": " + message;
+}
+
+void
+Report::add(Diagnostic d)
+{
+    _diagnostics.push_back(std::move(d));
+}
+
+void
+Report::error(const char *code, Site site, std::string message)
+{
+    add(Diagnostic{code, Severity::Error, std::move(message),
+                   std::move(site)});
+}
+
+void
+Report::warning(const char *code, Site site, std::string message)
+{
+    add(Diagnostic{code, Severity::Warning, std::move(message),
+                   std::move(site)});
+}
+
+void
+Report::notePass(const std::string &name)
+{
+    _passes.push_back(name);
+}
+
+std::size_t
+Report::errorCount() const
+{
+    std::size_t n = 0;
+    for (const auto &d : _diagnostics)
+        if (d.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+std::size_t
+Report::warningCount() const
+{
+    return _diagnostics.size() - errorCount();
+}
+
+std::size_t
+Report::countCode(const std::string &code) const
+{
+    std::size_t n = 0;
+    for (const auto &d : _diagnostics)
+        if (d.code == code)
+            ++n;
+    return n;
+}
+
+void
+Report::merge(const Report &other)
+{
+    for (const auto &d : other._diagnostics)
+        _diagnostics.push_back(d);
+    for (const auto &p : other._passes)
+        _passes.push_back(p);
+}
+
+namespace {
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+pad(int indent)
+{
+    return std::string(std::size_t(indent), ' ');
+}
+
+} // namespace
+
+void
+Report::writeJson(std::ostream &os, int indent) const
+{
+    const std::string p0 = pad(indent);
+    const std::string p1 = pad(indent + 2);
+    const std::string p2 = pad(indent + 4);
+
+    os << p0 << "{\n";
+    os << p1 << "\"ok\": " << (ok() ? "true" : "false") << ",\n";
+    os << p1 << "\"errors\": " << errorCount() << ",\n";
+    os << p1 << "\"warnings\": " << warningCount() << ",\n";
+
+    os << p1 << "\"passes\": [";
+    for (std::size_t i = 0; i < _passes.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(_passes[i]) << '"';
+    os << "],\n";
+
+    os << p1 << "\"diagnostics\": [";
+    for (std::size_t i = 0; i < _diagnostics.size(); ++i) {
+        const Diagnostic &d = _diagnostics[i];
+        os << (i ? "," : "") << "\n" << p2 << "{"
+           << "\"code\": \"" << jsonEscape(d.code) << "\", "
+           << "\"severity\": \"" << severityName(d.severity) << "\", "
+           << "\"artifact\": \"" << jsonEscape(d.site.artifact)
+           << "\", "
+           << "\"sub_cycle\": " << d.site.subCycle << ", "
+           << "\"qubit\": " << d.site.qubit << ", "
+           << "\"index\": " << d.site.index << ", "
+           << "\"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    if (!_diagnostics.empty())
+        os << "\n" << p1;
+    os << "]\n";
+    os << p0 << "}";
+}
+
+std::string
+Report::toString() const
+{
+    std::ostringstream os;
+    os << (ok() ? "PASS" : "FAIL") << " (" << errorCount()
+       << " errors, " << warningCount() << " warnings, "
+       << _passes.size() << " passes)";
+    for (const auto &d : _diagnostics)
+        os << "\n  " << d.toString();
+    return os.str();
+}
+
+} // namespace quest::verify

@@ -1,0 +1,277 @@
+#include "program.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace quest::verify {
+
+using isa::PhysOpcode;
+using qecc::Coord;
+using qecc::Lattice;
+using qecc::RoundSchedule;
+
+std::size_t
+RamProgram::uopCount() const
+{
+    std::size_t n = 0;
+    for (const auto &sc : subCycles)
+        n += sc.size();
+    return n;
+}
+
+std::size_t
+RamProgram::storedBits(std::size_t opcode_count) const
+{
+    return uopCount() * isa::ramUopBits(opcode_count, qubits);
+}
+
+std::size_t
+FifoProgram::storedBits(std::size_t opcode_count) const
+{
+    return stream.size() * isa::fifoUopBits(opcode_count);
+}
+
+std::size_t
+UnitCellProgram::storedBits(std::size_t opcode_count) const
+{
+    return depth() * cellSites() * isa::fifoUopBits(opcode_count);
+}
+
+RamProgram
+compileRam(const RoundSchedule &schedule)
+{
+    RamProgram out;
+    out.qubits = schedule.lattice().numQubits();
+    out.subCycles.reserve(schedule.depth());
+    for (std::size_t s = 0; s < schedule.depth(); ++s) {
+        const auto &uops = schedule.subCycle(s).uops;
+        std::vector<isa::PhysInstr> stored;
+        stored.reserve(uops.size());
+        for (std::size_t q = 0; q < uops.size(); ++q)
+            stored.push_back(
+                isa::PhysInstr{uops[q], std::uint32_t(q)});
+        out.subCycles.push_back(std::move(stored));
+    }
+    return out;
+}
+
+FifoProgram
+compileFifo(const RoundSchedule &schedule)
+{
+    FifoProgram out;
+    out.qubits = schedule.lattice().numQubits();
+    out.depth = schedule.depth();
+    out.stream.reserve(out.depth * out.qubits);
+    for (std::size_t s = 0; s < schedule.depth(); ++s)
+        for (PhysOpcode op : schedule.subCycle(s).uops)
+            out.stream.push_back(op);
+    return out;
+}
+
+namespace {
+
+/**
+ * The boundary squash rule of the unit-cell replay state machine: a
+ * two-qubit uop whose partner is off-lattice (or not a data site)
+ * is replaced by a NOP at expansion time.
+ */
+PhysOpcode
+squash(const Lattice &lattice, Coord site, PhysOpcode op)
+{
+    if (!isa::isTwoQubit(op))
+        return op;
+    const auto partner =
+        lattice.neighbour(site, qecc::cnotDirection(op));
+    if (!partner || !lattice.isData(*partner))
+        return PhysOpcode::Nop;
+    return op;
+}
+
+/**
+ * Try to extract a (rows x cols)-periodic cell from the schedule:
+ * each cell slot takes the unique non-NOP opcode of its congruent
+ * sites (NOP if all are NOP). Fails when congruent sites carry two
+ * different non-NOP opcodes.
+ */
+bool
+extractCell(const RoundSchedule &schedule, std::size_t cell_rows,
+            std::size_t cell_cols, UnitCellProgram &out)
+{
+    const Lattice &lattice = schedule.lattice();
+    out.cellRows = cell_rows;
+    out.cellCols = cell_cols;
+    out.subCycles.assign(
+        schedule.depth(),
+        std::vector<PhysOpcode>(cell_rows * cell_cols,
+                                PhysOpcode::Nop));
+    for (std::size_t s = 0; s < schedule.depth(); ++s) {
+        const auto &uops = schedule.subCycle(s).uops;
+        for (std::size_t q = 0; q < uops.size(); ++q) {
+            if (uops[q] == PhysOpcode::Nop)
+                continue;
+            const Coord c = lattice.coord(q);
+            const std::size_t slot =
+                (std::size_t(c.row) % cell_rows) * cell_cols
+                + std::size_t(c.col) % cell_cols;
+            PhysOpcode &stored = out.subCycles[s][slot];
+            if (stored == PhysOpcode::Nop)
+                stored = uops[q];
+            else if (stored != uops[q])
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Does the cell's tiled expansion reproduce the schedule exactly? */
+bool
+replaysExactly(const UnitCellProgram &cell,
+               const RoundSchedule &schedule)
+{
+    const ExpandedStream expanded =
+        expandUnitCell(cell, schedule.lattice());
+    if (expanded.depth() != schedule.depth())
+        return false;
+    for (std::size_t s = 0; s < schedule.depth(); ++s)
+        if (expanded.subCycles[s] != schedule.subCycle(s).uops)
+            return false;
+    return true;
+}
+
+} // namespace
+
+UnitCellProgram
+compileUnitCell(const RoundSchedule &schedule)
+{
+    const Lattice &lattice = schedule.lattice();
+    const std::size_t rows = lattice.rows();
+    const std::size_t cols = lattice.cols();
+
+    // Smallest area first; ties towards fewer rows. The full-lattice
+    // cell always replays exactly, so the search cannot fail.
+    struct Candidate
+    {
+        std::size_t r, c;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t r = 1; r <= rows; ++r)
+        for (std::size_t c = 1; c <= cols; ++c)
+            candidates.push_back({r, c});
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.r * a.c != b.r * b.c)
+                      return a.r * a.c < b.r * b.c;
+                  return a.r < b.r;
+              });
+
+    for (const Candidate &cand : candidates) {
+        UnitCellProgram cell;
+        if (!extractCell(schedule, cand.r, cand.c, cell))
+            continue;
+        if (replaysExactly(cell, schedule))
+            return cell;
+    }
+    sim::panic("unit-cell search failed even at the full lattice");
+}
+
+ExpandedStream
+expandRam(const RamProgram &program, Report *report)
+{
+    ExpandedStream out;
+    out.qubits = program.qubits;
+    out.subCycles.assign(
+        program.depth(),
+        std::vector<PhysOpcode>(program.qubits, PhysOpcode::Nop));
+
+    for (std::size_t s = 0; s < program.depth(); ++s) {
+        std::vector<std::uint8_t> written(program.qubits, 0);
+        for (std::size_t i = 0; i < program.subCycles[s].size();
+             ++i) {
+            const isa::PhysInstr &instr = program.subCycles[s][i];
+            if (instr.qubit >= program.qubits) {
+                if (report)
+                    report->error(
+                        codes::ramAddress,
+                        Site{"ram-program", std::ptrdiff_t(s), -1,
+                             std::ptrdiff_t(i)},
+                        "uop " + instr.toString()
+                            + " addresses past the "
+                            + std::to_string(program.qubits)
+                            + "-qubit lattice");
+                continue;
+            }
+            if (written[instr.qubit]) {
+                if (report)
+                    report->error(
+                        codes::ramAddress,
+                        Site{"ram-program", std::ptrdiff_t(s),
+                             std::ptrdiff_t(instr.qubit),
+                             std::ptrdiff_t(i)},
+                        "duplicate address: " + instr.toString()
+                            + " re-targets an already-written slot");
+                continue;
+            }
+            written[instr.qubit] = 1;
+            out.subCycles[s][instr.qubit] = instr.opcode;
+        }
+    }
+    return out;
+}
+
+ExpandedStream
+expandFifo(const FifoProgram &program, Report *report)
+{
+    ExpandedStream out;
+    out.qubits = program.qubits;
+    out.subCycles.assign(
+        program.depth,
+        std::vector<PhysOpcode>(program.qubits, PhysOpcode::Nop));
+
+    const std::size_t expected = program.depth * program.qubits;
+    if (program.stream.size() != expected && report)
+        report->error(
+            codes::fifoLength,
+            Site{"fifo-program", -1, -1,
+                 std::ptrdiff_t(program.stream.size())},
+            "stream holds " + std::to_string(program.stream.size())
+                + " uops; lockstep replay of "
+                + std::to_string(program.depth) + " sub-cycles x "
+                + std::to_string(program.qubits) + " qubits needs "
+                + std::to_string(expected));
+
+    const std::size_t n =
+        std::min(program.stream.size(), expected);
+    for (std::size_t k = 0; k < n; ++k)
+        out.subCycles[k / program.qubits][k % program.qubits] =
+            program.stream[k];
+    return out;
+}
+
+ExpandedStream
+expandUnitCell(const UnitCellProgram &program,
+               const Lattice &lattice)
+{
+    QUEST_ASSERT(program.cellRows > 0 && program.cellCols > 0,
+                 "unit cell must be non-empty");
+    ExpandedStream out;
+    out.qubits = lattice.numQubits();
+    out.subCycles.assign(
+        program.depth(),
+        std::vector<PhysOpcode>(out.qubits, PhysOpcode::Nop));
+
+    for (std::size_t s = 0; s < program.depth(); ++s) {
+        for (std::size_t q = 0; q < out.qubits; ++q) {
+            const Coord c = lattice.coord(q);
+            const std::size_t slot =
+                (std::size_t(c.row) % program.cellRows)
+                    * program.cellCols
+                + std::size_t(c.col) % program.cellCols;
+            out.subCycles[s][q] =
+                squash(lattice, c, program.subCycles[s][slot]);
+        }
+    }
+    return out;
+}
+
+} // namespace quest::verify

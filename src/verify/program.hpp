@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Stored-program representations of the three microcode designs and
+ * their symbolic replay.
+ *
+ * The paper's equivalence claim (Section 4.5) is that the FIFO and
+ * unit-cell microcode stores replay the *same* per-round uop stream
+ * as the RAM baseline while dropping the address bits: FIFO by
+ * visiting every qubit in lockstep order, unit cell by a state
+ * machine that tiles a small spatial program across the lattice.
+ * The types here make each design's stored image concrete and give
+ * it an `expand` function — the symbolic replay — that reconstructs
+ * the full (sub-cycle, qubit) -> opcode stream *without simulation*.
+ * The equivalence pass then proves a FIFO or unit-cell image
+ * address-for-address equal to the RAM baseline expansion.
+ *
+ * Replay semantics:
+ *  - RAM: each stored uop carries opcode + explicit qubit address;
+ *    a sub-cycle's uops must address each qubit at most once.
+ *  - FIFO: opcode-only stream; uop k addresses qubit k mod N in
+ *    sub-cycle k / N (row-major lockstep order).
+ *  - Unit cell: opcode per cell site per sub-cycle; site (r, c) of
+ *    the lattice replays cell slot (r mod cellRows, c mod cellCols).
+ *    The replay state machine squashes a two-qubit uop whose partner
+ *    falls off the lattice (or on a non-data site) to a NOP — the
+ *    boundary rule that lets one interior cell serve a finite
+ *    lattice.
+ */
+
+#ifndef QUEST_VERIFY_PROGRAM_HPP
+#define QUEST_VERIFY_PROGRAM_HPP
+
+#include <vector>
+
+#include "diagnostics.hpp"
+#include "isa/instructions.hpp"
+#include "qecc/schedule.hpp"
+
+namespace quest::verify {
+
+/**
+ * The fully-expanded per-round uop stream: one opcode per qubit per
+ * sub-cycle. This is the object the equivalence pass compares
+ * address-for-address.
+ */
+struct ExpandedStream
+{
+    std::size_t qubits = 0;
+    /** subCycles[s][q] is the opcode qubit q latches in sub-cycle s. */
+    std::vector<std::vector<isa::PhysOpcode>> subCycles;
+
+    std::size_t depth() const { return subCycles.size(); }
+
+    bool operator==(const ExpandedStream &other) const = default;
+};
+
+/** RAM-design stored image: opcode + address per uop. */
+struct RamProgram
+{
+    std::size_t qubits = 0;
+    /** Stored uops per sub-cycle, each with an explicit address. */
+    std::vector<std::vector<isa::PhysInstr>> subCycles;
+
+    std::size_t depth() const { return subCycles.size(); }
+
+    /** Total stored uops. */
+    std::size_t uopCount() const;
+
+    /** Stored image bits: uops x (opcode + address) width. */
+    std::size_t storedBits(std::size_t opcode_count) const;
+};
+
+/** FIFO-design stored image: opcode-only lockstep stream. */
+struct FifoProgram
+{
+    std::size_t qubits = 0; ///< lockstep width the stream encodes
+    std::size_t depth = 0;  ///< sub-cycles the stream encodes
+    std::vector<isa::PhysOpcode> stream;
+
+    /** Stored image bits: stream length x opcode width. */
+    std::size_t storedBits(std::size_t opcode_count) const;
+};
+
+/** Unit-cell-design stored image: one spatial cell per sub-cycle. */
+struct UnitCellProgram
+{
+    std::size_t cellRows = 0;
+    std::size_t cellCols = 0;
+    /** subCycles[s][i * cellCols + j] is cell slot (i, j). */
+    std::vector<std::vector<isa::PhysOpcode>> subCycles;
+
+    std::size_t depth() const { return subCycles.size(); }
+    std::size_t cellSites() const { return cellRows * cellCols; }
+
+    /** Stored image bits: cell sites x depth x opcode width. */
+    std::size_t storedBits(std::size_t opcode_count) const;
+};
+
+/** @name Compilation from the canonical schedule. */
+///@{
+
+/** The RAM baseline image: every schedule slot stored explicitly. */
+RamProgram compileRam(const qecc::RoundSchedule &schedule);
+
+/** The FIFO image: drop addresses, keep lockstep order. */
+FifoProgram compileFifo(const qecc::RoundSchedule &schedule);
+
+/**
+ * The unit-cell image: search for the smallest spatial period
+ * (rows x cols) whose tiled, boundary-squashed expansion reproduces
+ * the schedule exactly, and store that cell. Falls back to the whole
+ * lattice as a degenerate (compression-free but always valid) cell.
+ * For the canonical surface-code schedules the search finds the
+ * 2 x 2 site-parity cell.
+ */
+UnitCellProgram compileUnitCell(const qecc::RoundSchedule &schedule);
+///@}
+
+/** @name Symbolic replay (expansion without simulation). */
+///@{
+
+/**
+ * Expand a RAM image. Out-of-range or duplicated addresses are
+ * reported into `report` (code equiv.ram.address) when given; the
+ * offending uops are dropped from the expansion.
+ */
+ExpandedStream expandRam(const RamProgram &program,
+                         Report *report = nullptr);
+
+/**
+ * Expand a FIFO image against an expected (depth, qubits) shape. A
+ * stream length mismatch is reported (code equiv.fifo.length) and
+ * the expansion covers only the slots the stream reaches.
+ */
+ExpandedStream expandFifo(const FifoProgram &program,
+                          Report *report = nullptr);
+
+/**
+ * Expand a unit-cell image over a lattice by tiling and boundary
+ * squashing (see file header).
+ */
+ExpandedStream expandUnitCell(const UnitCellProgram &program,
+                              const qecc::Lattice &lattice);
+///@}
+
+} // namespace quest::verify
+
+#endif // QUEST_VERIFY_PROGRAM_HPP

@@ -11,6 +11,9 @@
  *   replay     run a trace file through the cycle-level system and
  *              print the bus ledger.
  *   simulate   surface-code memory experiment (logical error rate).
+ *   verify     static verification of control-plane artifacts
+ *              (microcode equivalence, budgets, hazards, ISA) with
+ *              machine-readable diagnostics.
  *
  * Run `quest <subcommand> --help` for the flags of each.
  */
@@ -21,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +35,7 @@
 #include "sim/metrics.hpp"
 #include "sim/table.hpp"
 #include "sim/trace.hpp"
+#include "verify/verifier.hpp"
 #include "workloads/estimator.hpp"
 
 namespace {
@@ -112,6 +117,16 @@ parseProtocol(const std::string &name)
         if (qecc::protocolName(p) == name)
             return p;
     sim::fatal("unknown protocol '%s' (Steane, Shor, SC-17, SC-13)",
+               name.c_str());
+}
+
+core::MicrocodeDesign
+parseDesign(const std::string &name)
+{
+    for (core::MicrocodeDesign d : core::allMicrocodeDesigns)
+        if (core::microcodeDesignName(d) == name)
+            return d;
+    sim::fatal("unknown design '%s' (RAM, FIFO, Unit-cell)",
                name.c_str());
 }
 
@@ -239,6 +254,13 @@ cmdReplay(const Options &opts)
     // Classical fault model: a uniform per-site rate switches on the
     // whole resilience stack (ARQ retries, scrubbing, watchdog,
     // decode-deadline fallback).
+    // Pre-flight gate: statically verify every tile's microcode,
+    // budget and hazard properties before the system accepts it.
+    if (opts.has("verify-on-load")) {
+        verify::installPreflightGate();
+        cfg.mce.verifyOnLoad = true;
+    }
+
     const double fault_rate = opts.getDouble("fault-rate", 0.0);
     if (fault_rate > 0.0) {
         cfg.faults = sim::FaultConfig::uniform(
@@ -304,6 +326,71 @@ cmdSimulate(const Options &opts)
     return 0;
 }
 
+int
+cmdVerify(const Options &opts)
+{
+    std::vector<qecc::Protocol> protocols;
+    if (opts.has("protocol"))
+        protocols.push_back(
+            parseProtocol(opts.get("protocol", "Steane")));
+    else
+        protocols.assign(std::begin(qecc::allProtocols),
+                         std::end(qecc::allProtocols));
+
+    std::vector<core::MicrocodeDesign> designs;
+    if (opts.has("design"))
+        designs.push_back(parseDesign(opts.get("design", "RAM")));
+    else
+        designs.assign(std::begin(core::allMicrocodeDesigns),
+                       std::end(core::allMicrocodeDesigns));
+
+    std::optional<isa::LogicalTrace> trace;
+    if (opts.has("trace"))
+        trace = isa::LogicalTrace::loadBinary(
+            opts.get("trace", "trace.qtrace"));
+
+    verify::Report combined;
+    for (const qecc::Protocol p : protocols) {
+        for (const core::MicrocodeDesign d : designs) {
+            core::MceConfig cfg;
+            cfg.distance = std::size_t(opts.getInt("distance", 3));
+            cfg.protocol = p;
+            cfg.technology =
+                parseTechnology(opts.get("tech", "ProjectedD"));
+            cfg.microcodeDesign = d;
+            cfg.memoryConfig.channels =
+                std::size_t(opts.getInt("channels", 4));
+            cfg.memoryConfig.bankBits =
+                std::size_t(opts.getInt("bank-bits", 1024));
+            cfg.icacheCapacity =
+                std::size_t(opts.getInt("icache", 1024));
+
+            const std::string label = qecc::protocolName(p) + "/"
+                + core::microcodeDesignName(d);
+            verify::TileBundle bundle =
+                verify::buildTileBundle(cfg, label);
+            bundle.artifacts.trace = trace;
+            bundle.artifacts.rotationEpsilon =
+                opts.getDouble("epsilon", 0.0);
+            combined.merge(
+                verify::Verifier().run(bundle.artifacts));
+        }
+    }
+
+    if (opts.has("json")) {
+        const std::string path = opts.get("json", "verify.json");
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot write diagnostics to %s",
+                       path.c_str());
+        combined.writeJson(os);
+        std::fprintf(stderr, "wrote diagnostics to %s\n",
+                     path.c_str());
+    }
+    std::printf("%s\n", combined.toString().c_str());
+    return combined.ok() ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -319,9 +406,13 @@ usage()
         "  replay     --trace FILE [--mces N] [--rounds N]\n"
         "             [--distance D] [--error-rate P]\n"
         "             [--fault-rate P] [--fault-seed S]\n"
-        "             [--faults-report]\n"
+        "             [--faults-report] [--verify-on-load]\n"
         "  simulate   [--distance D] [--error-rate P] [--trials N]\n"
         "             [--protocol S] [--seed S]\n"
+        "  verify     [--protocol S] [--design D] [--distance D]\n"
+        "             [--tech T] [--channels N] [--bank-bits N]\n"
+        "             [--trace FILE] [--epsilon E] [--json FILE]\n"
+        "             (defaults sweep every protocol x design)\n"
         "\n"
         "observability (any subcommand):\n"
         "  --trace-out FILE    write a Chrome-trace JSON of the run\n"
@@ -393,6 +484,8 @@ main(int argc, char **argv)
             rc = cmdReplay(opts);
         else if (cmd == "simulate")
             rc = cmdSimulate(opts);
+        else if (cmd == "verify")
+            rc = cmdVerify(opts);
         else {
             usage();
             return 2;
