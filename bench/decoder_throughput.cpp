@@ -17,8 +17,24 @@
  * per-trial correction weights bit-for-bit (verified here) — the
  * determinism contract of sim/parallel.hpp.
  *
+ * Measurement method: each configuration is decoded once untimed
+ * (warm-up: faults the pool's worker threads awake, warms caches
+ * and allocator arenas), then the timed loop repeats the whole
+ * trial set enough times for the wall clock to dwarf dispatch
+ * overhead (>= --min-window-ms, calibrated on the single-thread
+ * run and reused for the multi-thread run so the scaling ratio
+ * compares identical work). Without this, a smoke-sized window is
+ * almost pure thread-pool wake latency and the "multi-thread
+ * throughput" column reports the cold-dispatch artifact instead of
+ * the decoder — the sub-single-thread numbers once reported at
+ * d=9 were exactly that.
+ *
  * Flags: --smoke (CI-sized run), --threads=N (multi-thread degree,
- * default ThreadPool::defaultThreads()), --trials=N, --out=PATH.
+ * default ThreadPool::defaultThreads()), --trials=N, --out=PATH,
+ * --min-window-ms=N (timed-window floor, default 50),
+ * --check-scaling=R (exit 1 when any config's multi/single
+ * throughput ratio lands below R; skipped with a note on
+ * single-core hosts where no speedup is physically available).
  */
 
 #include <algorithm>
@@ -28,6 +44,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "decode/cluster_decoder.hpp"
@@ -101,6 +118,8 @@ struct Timing
     double p50Ns = 0.0;
     double p99Ns = 0.0;
     std::size_t threads = 1;
+    std::uint64_t reps = 1;      ///< timed passes over the trial set
+    double wallSeconds = 0.0;    ///< total timed wall
 };
 
 double
@@ -116,12 +135,15 @@ percentile(std::vector<double> sorted, double q)
 
 Timing
 summarize(std::vector<double> latencies, double wall_seconds,
-          std::size_t threads)
+          std::size_t threads, std::uint64_t reps)
 {
     Timing t;
     t.threads = threads;
+    t.reps = reps;
+    t.wallSeconds = wall_seconds;
     t.trialsPerSec = wall_seconds > 0.0
-        ? double(latencies.size()) / wall_seconds : 0.0;
+        ? double(latencies.size()) * double(reps) / wall_seconds
+        : 0.0;
     std::sort(latencies.begin(), latencies.end());
     t.p50Ns = percentile(latencies, 0.50);
     t.p99Ns = percentile(latencies, 0.99);
@@ -129,33 +151,64 @@ summarize(std::vector<double> latencies, double wall_seconds,
 }
 
 /**
- * Decode the pre-sampled windows on `pool`, recording per-trial
- * decode latency and the per-trial correction weight (the
- * determinism witness).
+ * Decode the pre-sampled windows on `pool` `reps` times after one
+ * untimed warm-up pass, recording per-trial decode latency (final
+ * pass) and the per-trial correction weight (the determinism
+ * witness). The warm-up pass is what keeps smoke-sized windows
+ * honest: it absorbs the pool's cold condvar wake and the
+ * decoders' first-touch allocations, which otherwise dominate a
+ * 64-trial measurement and invert the scaling ratio.
  */
 template <typename DecodeFn>
 Timing
 runTrials(sim::ThreadPool &pool,
           const std::vector<decode::DetectionEvents> &events,
           const DecodeFn &decode_one,
-          std::vector<std::uint64_t> &weights)
+          std::vector<std::uint64_t> &weights, std::uint64_t reps)
 {
     const std::uint64_t trials = events.size();
     std::vector<double> latency(trials, 0.0);
     weights.assign(trials, 0);
-    const auto wall0 = Clock::now();
+
     sim::parallelFor(pool, trials, [&](std::uint64_t i) {
-        const auto t0 = Clock::now();
-        const decode::Correction corr = decode_one(events[i]);
-        const auto t1 = Clock::now();
-        latency[i] = double(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                t1 - t0).count());
-        weights[i] = corr.weight();
+        weights[i] = decode_one(events[i]).weight();
     });
+
+    const auto wall0 = Clock::now();
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+        const bool last = rep + 1 == reps;
+        sim::parallelFor(pool, trials, [&](std::uint64_t i) {
+            const auto t0 = Clock::now();
+            const decode::Correction corr = decode_one(events[i]);
+            const auto t1 = Clock::now();
+            if (last) {
+                latency[i] = double(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(t1 - t0)
+                        .count());
+                weights[i] = corr.weight();
+            }
+        });
+    }
     const double wall = std::chrono::duration<double>(
         Clock::now() - wall0).count();
-    return summarize(std::move(latency), wall, pool.threads());
+    return summarize(std::move(latency), wall, pool.threads(), reps);
+}
+
+/**
+ * Pick the rep count that stretches the timed window past
+ * `min_window_s` for this configuration, from one warm
+ * single-thread probe pass.
+ */
+std::uint64_t
+calibrateReps(double probe_wall_s, double min_window_s)
+{
+    if (probe_wall_s <= 0.0)
+        return 4096;
+    const double want = min_window_s / probe_wall_s;
+    if (want <= 1.0)
+        return 1;
+    return std::uint64_t(std::min(4096.0, want + 1.0));
 }
 
 struct ConfigResult
@@ -164,6 +217,7 @@ struct ConfigResult
     std::string decoder;
     Timing single;
     Timing multi;
+    double scaling = 0.0; ///< multi/single throughput ratio
     bool deterministic = false;
 };
 
@@ -187,6 +241,8 @@ main(int argc, char **argv)
     bool smoke = false;
     std::uint64_t trials = 0;
     std::size_t threads = 0;
+    double min_window_ms = 50.0;
+    double check_scaling = 0.0; // 0 = report only, no gate
     std::string out_path = "BENCH_decoder_throughput.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -198,10 +254,15 @@ main(int argc, char **argv)
             trials = std::stoull(arg.substr(9));
         } else if (arg.rfind("--out=", 0) == 0) {
             out_path = arg.substr(6);
+        } else if (arg.rfind("--min-window-ms=", 0) == 0) {
+            min_window_ms = std::stod(arg.substr(16));
+        } else if (arg.rfind("--check-scaling=", 0) == 0) {
+            check_scaling = std::stod(arg.substr(16));
         } else {
             std::cerr << "unknown flag " << arg << "\n"
                       << "usage: decoder_throughput [--smoke] "
-                         "[--threads=N] [--trials=N] [--out=PATH]\n";
+                         "[--threads=N] [--trials=N] [--out=PATH] "
+                         "[--min-window-ms=N] [--check-scaling=R]\n";
             return 1;
         }
     }
@@ -234,10 +295,19 @@ main(int argc, char **argv)
             r.distance = d;
             r.decoder = name;
             std::vector<std::uint64_t> w_single, w_multi;
+            // Calibrate the rep count on a warm single-thread
+            // probe, then time both runs over identical work.
+            const Timing probe =
+                runTrials(serial, events, decode_one, w_single, 1);
+            const std::uint64_t reps = calibrateReps(
+                probe.wallSeconds, min_window_ms / 1e3);
             r.single = runTrials(serial, events, decode_one,
-                                 w_single);
+                                 w_single, reps);
             r.multi = runTrials(pool, events, decode_one,
-                                w_multi);
+                                w_multi, reps);
+            r.scaling = r.single.trialsPerSec > 0.0
+                ? r.multi.trialsPerSec / r.single.trialsPerSec
+                : 0.0;
             r.deterministic = w_single == w_multi;
             QUEST_ASSERT(r.deterministic,
                          "multi-thread decode diverged from "
@@ -260,19 +330,23 @@ main(int argc, char **argv)
                      + std::to_string(trials) + " trials)");
     table.header({ "distance", "decoder", "1T trials/s", "1T p50 us",
                    "1T p99 us", std::to_string(pool.threads())
-                       + "T trials/s", "deterministic" });
+                       + "T trials/s", "scaling", "reps",
+                   "deterministic" });
     for (const ConfigResult &r : results) {
-        char b1[32], b2[32], b3[32], b4[32];
+        char b1[32], b2[32], b3[32], b4[32], b5[32];
         std::snprintf(b1, sizeof(b1), "%.0f", r.single.trialsPerSec);
         std::snprintf(b2, sizeof(b2), "%.1f", r.single.p50Ns / 1e3);
         std::snprintf(b3, sizeof(b3), "%.1f", r.single.p99Ns / 1e3);
         std::snprintf(b4, sizeof(b4), "%.0f", r.multi.trialsPerSec);
+        std::snprintf(b5, sizeof(b5), "%.2f", r.scaling);
         table.row({ std::to_string(r.distance), r.decoder, b1, b2,
-                    b3, b4, r.deterministic ? "yes" : "NO" });
+                    b3, b4, b5, std::to_string(r.single.reps),
+                    r.deterministic ? "yes" : "NO" });
     }
     table.caption("single-thread latency tracks the scratch-arena + "
-                  "distance-cache hot path; the multi-thread column "
-                  "is the parallel engine's scaling");
+                  "distance-cache hot path; scaling is the "
+                  "multi/single throughput ratio over identical "
+                  "warmed, rep-expanded work");
     table.print(std::cout);
 
     std::ofstream os(out_path);
@@ -288,7 +362,9 @@ main(int argc, char **argv)
         jsonTiming(os, "single_thread", r.single);
         os << ",\n";
         jsonTiming(os, "multi_thread", r.multi);
-        os << ",\n    \"deterministic\": "
+        os << ",\n    \"scaling\": " << r.scaling
+           << ",\n    \"reps\": " << r.single.reps
+           << ",\n    \"deterministic\": "
            << (r.deterministic ? "true" : "false") << "\n  }"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
@@ -296,5 +372,30 @@ main(int argc, char **argv)
     sim::metricsWriteJson(os);
     os << "\n}\n";
     std::cout << "\nwrote " << out_path << "\n";
+
+    if (check_scaling > 0.0) {
+        if (std::thread::hardware_concurrency() < 2
+            || pool.threads() < 2) {
+            std::cout << "check-scaling: skipped (host offers "
+                      << std::thread::hardware_concurrency()
+                      << " core(s); no parallel speedup is "
+                         "physically available)\n";
+            return 0;
+        }
+        int bad = 0;
+        for (const ConfigResult &r : results) {
+            if (r.scaling < check_scaling) {
+                std::cout << "check-scaling: d=" << r.distance
+                          << " " << r.decoder << " scaled "
+                          << r.scaling << "x < required "
+                          << check_scaling << "x\n";
+                ++bad;
+            }
+        }
+        if (bad != 0)
+            return 1;
+        std::cout << "check-scaling: all configs >= "
+                  << check_scaling << "x\n";
+    }
     return 0;
 }

@@ -84,6 +84,19 @@ PacketNetwork::PacketNetwork(const NetworkConfig &cfg,
     parent.addChild(_stats);
 }
 
+void
+PacketNetwork::attachFaults(sim::FaultInjector *faults)
+{
+    _faults = faults;
+    // Jitter stream keyed off the injector seed (and nothing else):
+    // a retransmitting run replays bit-for-bit under a fixed fault
+    // seed, and two networks attached to differently-seeded
+    // injectors desynchronise their retry storms.
+    if (faults != nullptr)
+        _jitterRng.seed(sim::Rng::deriveSeed(
+            faults->config().seed, 0xBACC0FFull));
+}
+
 std::size_t
 PacketNetwork::hopsToMce(std::size_t mce_index) const
 {
@@ -127,8 +140,19 @@ PacketNetwork::send(std::size_t mce_index, std::size_t bytes)
         timing.attempts = attempt + 1;
         if (attempt > 0) {
             ++_retransmits;
-            // Exponential backoff before each retransmission.
-            timing.latency += _cfg.retryBackoff << (attempt - 1);
+            // Exponential backoff before each retransmission, with
+            // a deterministic jitter fraction so concurrent senders
+            // that lost packets together do not retry in lockstep.
+            // The draw is seeded (attachFaults), never wall clock.
+            const sim::Tick base = _cfg.retryBackoff << (attempt - 1);
+            sim::Tick wait = base;
+            if (_cfg.retryJitter > 0.0) {
+                const double j = _cfg.retryJitter;
+                wait = sim::Tick(double(base)
+                                 * (1.0 - j
+                                    + j * _jitterRng.uniform()));
+            }
+            timing.latency += wait;
         }
         _bytes += double(wire_bytes);
         _overheadBytes += double(_cfg.crcBytes);

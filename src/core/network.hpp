@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -56,6 +57,18 @@ struct NetworkConfig
     std::size_t ackBytes = 2;   ///< ACK/NACK return token
     std::size_t retryLimit = 4; ///< retransmissions before giving up
     sim::Tick retryBackoff = sim::nanoseconds(10); ///< doubles per retry
+
+    /**
+     * Fraction of each backoff step randomised: step k waits
+     * `base·2^k · (1 − j + j·u)` with u uniform in [0, 1). Senders
+     * whose packets died together then retry apart instead of
+     * re-colliding in lockstep (the classic retry-storm fix). The
+     * draw comes from a dedicated stream seeded off the attached
+     * FaultInjector's seed — never the wall clock — so a faulty run
+     * replays bit-for-bit; 0 disables the draw entirely and
+     * restores the pre-jitter backoff sequence.
+     */
+    double retryJitter = 0.5;
     ///@}
 };
 
@@ -81,7 +94,7 @@ class PacketNetwork
      * (and the CRC/ACK protocol that recovers from them) are active
      * only while the injector has a nonzero rate somewhere.
      */
-    void attachFaults(sim::FaultInjector *faults) { _faults = faults; }
+    void attachFaults(sim::FaultInjector *faults);
 
     /** Tree depth from the master to any MCE leaf. */
     std::size_t depth() const { return _depth; }
@@ -131,6 +144,7 @@ class PacketNetwork
     NetworkConfig _cfg;
     std::size_t _depth;
     sim::FaultInjector *_faults = nullptr;
+    sim::Rng _jitterRng; ///< backoff jitter; reseeded on attachFaults
 
     sim::StatGroup _stats;
     sim::Scalar &_bytes;

@@ -1,0 +1,463 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace quest::fleet {
+
+bool
+Json::asBool() const
+{
+    QUEST_ASSERT(_type == Type::Bool, "JSON value is not a bool");
+    return _bool;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    if (_type == Type::Uint)
+        return _uint;
+    QUEST_ASSERT(_type == Type::Int && _int >= 0,
+                 "JSON value is not a non-negative integer");
+    return std::uint64_t(_int);
+}
+
+std::int64_t
+Json::asI64() const
+{
+    if (_type == Type::Int)
+        return _int;
+    QUEST_ASSERT(_type == Type::Uint
+                     && _uint <= 0x7FFFFFFFFFFFFFFFull,
+                 "JSON value does not fit a signed integer");
+    return std::int64_t(_uint);
+}
+
+double
+Json::asDouble() const
+{
+    switch (_type) {
+      case Type::Double: return _double;
+      case Type::Uint: return double(_uint);
+      case Type::Int: return double(_int);
+      default:
+        sim::fatal("JSON value is not a number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    QUEST_ASSERT(_type == Type::String, "JSON value is not a string");
+    return _string;
+}
+
+void
+Json::push(Json v)
+{
+    QUEST_ASSERT(_type == Type::Array, "push on non-array JSON");
+    _items.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    return _type == Type::Array ? _items.size() : _members.size();
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    QUEST_ASSERT(_type == Type::Array && i < _items.size(),
+                 "JSON array index %zu out of range", i);
+    return _items[i];
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    QUEST_ASSERT(_type == Type::Object, "set on non-object JSON");
+    for (auto &[k, val] : _members) {
+        if (k == key) {
+            val = std::move(v);
+            return *this;
+        }
+    }
+    _members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    for (const auto &[k, v] : _members)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    QUEST_ASSERT(_type == Type::Object, "get on non-object JSON");
+    for (const auto &[k, v] : _members)
+        if (k == key)
+            return v;
+    sim::fatal("JSON object has no key '%s'", key.c_str());
+}
+
+std::uint64_t
+Json::getU64(const std::string &key, std::uint64_t fallback) const
+{
+    return has(key) ? get(key).asU64() : fallback;
+}
+
+double
+Json::getDouble(const std::string &key, double fallback) const
+{
+    return has(key) ? get(key).asDouble() : fallback;
+}
+
+std::string
+Json::getString(const std::string &key,
+                const std::string &fallback) const
+{
+    return has(key) ? get(key).asString() : fallback;
+}
+
+namespace {
+
+void
+escapeString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out) const
+{
+    char buf[32];
+    switch (_type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Type::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(_uint));
+        out += buf;
+        break;
+      case Type::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(_int));
+        out += buf;
+        break;
+      case Type::Double:
+        // %.17g round-trips every finite IEEE-754 double exactly.
+        std::snprintf(buf, sizeof(buf), "%.17g", _double);
+        out += buf;
+        break;
+      case Type::String:
+        escapeString(_string, out);
+        break;
+      case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < _items.size(); ++i) {
+            if (i)
+                out += ',';
+            _items[i].dumpTo(out);
+        }
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < _members.size(); ++i) {
+            if (i)
+                out += ',';
+            escapeString(_members[i].first, out);
+            out += ':';
+            _members[i].second.dumpTo(out);
+        }
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a bounded depth. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : _s(text) {}
+
+    bool
+    parseDocument(Json &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        return _pos == _s.size();
+    }
+
+  private:
+    static constexpr int maxDepth = 32;
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size()
+               && (_s[_pos] == ' ' || _s[_pos] == '\t'
+                   || _s[_pos] == '\n' || _s[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (_s.compare(_pos, n, word) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (_pos >= _s.size() || _s[_pos] != '"')
+            return false;
+        ++_pos;
+        out.clear();
+        while (_pos < _s.size()) {
+            const char c = _s[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                return false;
+            const char esc = _s[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (_pos + 4 > _s.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _s[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The protocol only ships ASCII control escapes.
+                if (code > 0x7F)
+                    return false;
+                out += char(code);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = _pos;
+        bool is_double = false;
+        if (_pos < _s.size() && _s[_pos] == '-')
+            ++_pos;
+        while (_pos < _s.size()) {
+            const char c = _s[_pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++_pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                is_double = true;
+                ++_pos;
+            } else {
+                break;
+            }
+        }
+        if (_pos == start)
+            return false;
+        const std::string tok = _s.substr(start, _pos - start);
+        errno = 0;
+        char *end = nullptr;
+        if (is_double) {
+            const double d = std::strtod(tok.c_str(), &end);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                return false;
+            out = Json(d);
+        } else if (tok[0] == '-') {
+            const long long i = std::strtoll(tok.c_str(), &end, 10);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                return false;
+            out = Json(std::int64_t(i));
+        } else {
+            const unsigned long long u =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                return false;
+            out = Json(std::uint64_t(u));
+        }
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > maxDepth || _pos >= _s.size())
+            return false;
+        const char c = _s[_pos];
+        if (c == 'n') {
+            out = Json();
+            return literal("null");
+        }
+        if (c == 't') {
+            out = Json(true);
+            return literal("true");
+        }
+        if (c == 'f') {
+            out = Json(false);
+            return literal("false");
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++_pos;
+            out = Json::array();
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            for (;;) {
+                Json item;
+                skipWs();
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipWs();
+                if (_pos >= _s.size())
+                    return false;
+                if (_s[_pos] == ',') {
+                    ++_pos;
+                    continue;
+                }
+                if (_s[_pos] == ']') {
+                    ++_pos;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '{') {
+            ++_pos;
+            out = Json::object();
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (_pos >= _s.size() || _s[_pos] != ':')
+                    return false;
+                ++_pos;
+                skipWs();
+                Json value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.set(key, std::move(value));
+                skipWs();
+                if (_pos >= _s.size())
+                    return false;
+                if (_s[_pos] == ',') {
+                    ++_pos;
+                    continue;
+                }
+                if (_s[_pos] == '}') {
+                    ++_pos;
+                    return true;
+                }
+                return false;
+            }
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out)
+{
+    return Parser(text).parseDocument(out);
+}
+
+} // namespace quest::fleet

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The fleet manager: `quest serve` — a single-threaded poll(2) loop
+ * that farms sweep tasks to `quest worker` processes and survives
+ * their failures without changing a byte of the merged output.
+ *
+ * Task lifecycle (DESIGN.md §13):
+ *
+ *     Pending ──dispatch──▶ Leased ──result──▶ Done
+ *        ▲                    │
+ *        └──expiry/disconnect─┘   (backoff, bounded re-dispatch)
+ *
+ * Robustness machinery, in the order it usually fires:
+ *  - **Lease timeouts.** Every dispatched task carries a lease; a
+ *    worker that neither returns the result nor dies within it is
+ *    presumed stuck. Expired tasks go back to Pending behind an
+ *    exponential backoff with deterministic jitter (seeded Rng, so
+ *    two identically-seeded managers facing the same failures make
+ *    the same scheduling decisions). The lease grows per attempt so
+ *    slow-but-correct workers eventually fit inside it.
+ *  - **Worker loss.** A closed or poisoned connection immediately
+ *    re-queues everything leased to it — no need to wait out the
+ *    lease.
+ *  - **Re-dispatch budget.** After `redispatchBudget` failed
+ *    attempts the manager stops trusting the fleet with the task
+ *    and runs it in-process (the task executor is the same code,
+ *    so the bytes are the same).
+ *  - **Straggler re-issue.** Once enough tasks have completed to
+ *    estimate a latency distribution, any lease older than
+ *    `stragglerFactor × p99` gets a second concurrent lease;
+ *    first result wins, the loser is dropped as a duplicate.
+ *  - **Heartbeat quarantine.** Idle workers heartbeat; one that
+ *    goes silent is quarantined (no new leases) and readmitted on
+ *    its next sign of life. Busy workers are governed by their
+ *    lease instead — a single-threaded worker deep in a d=13 task
+ *    cannot heartbeat and must not be punished for it.
+ *  - **Local fallback.** With no usable workers for
+ *    `localFallbackMs`, the manager starts draining the queue
+ *    itself, one task per loop iteration, so late workers can
+ *    still join mid-sweep.
+ *
+ * Determinism: none of this machinery can affect results. Tasks are
+ * pure functions of the spec; the merge is first-result-wins into
+ * task-id slots folded in a fixed order. The `fleet.*` metrics that
+ * witness the machinery (redispatches, lease expiries, quarantines)
+ * are registered Wallclock — present in --metrics-out, excluded
+ * from the byte-identity snapshot. Only `fleet.tasks_total` /
+ * `fleet.tasks_completed` / `fleet.points` are Stable.
+ */
+
+#ifndef QUEST_FLEET_MANAGER_HPP
+#define QUEST_FLEET_MANAGER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "protocol.hpp"
+#include "sim/metrics.hpp"
+#include "sim/random.hpp"
+#include "sim/table.hpp"
+#include "sweep.hpp"
+
+namespace quest::fleet {
+
+/** Manager tuning; defaults suit localhost CI fleets. */
+struct FleetConfig
+{
+    std::uint16_t port = 0; ///< 0 = ephemeral (see Manager::port())
+
+    int leaseMs = 4000;        ///< initial task lease
+    double leaseGrowth = 2.0;  ///< lease multiplier per re-dispatch
+    int backoffBaseMs = 50;    ///< re-dispatch backoff, attempt 1
+    double backoffJitter = 0.5; ///< jitter fraction of the backoff
+    int redispatchBudget = 4;  ///< attempts before local execution
+
+    double stragglerFactor = 4.0; ///< re-issue past p99 × this
+    int heartbeatMs = 500;        ///< expected idle-worker cadence
+    int quarantineMisses = 3;     ///< missed beats before quarantine
+
+    int localFallbackMs = 200; ///< workerless grace before self-run
+
+    /** Seed of the backoff-jitter stream (scheduling only). */
+    std::uint64_t schedulerSeed = 0x51EEDull;
+
+    /** serveOnce(): max wait for a submit; <0 waits forever. */
+    int submitTimeoutMs = -1;
+};
+
+/** The sweep-farm manager (single-threaded, poll-driven). */
+class Manager
+{
+  public:
+    explicit Manager(const FleetConfig &cfg);
+    ~Manager();
+
+    Manager(const Manager &) = delete;
+    Manager &operator=(const Manager &) = delete;
+
+    /** The bound listen port (for --port-file handshakes). */
+    std::uint16_t port() const { return _port; }
+
+    /**
+     * Farm one sweep across whatever workers connect, falling back
+     * to in-process execution when the fleet cannot make progress.
+     * Always returns the complete merged table (bit-identical to
+     * runSweepLocal on the same spec).
+     */
+    sim::Table runSweep(const SweepSpec &spec);
+
+    /**
+     * Await one `submit` job on the same port the workers use, run
+     * it, reply to the client with the merged CSV.
+     * @return true when a job was served; false on submit timeout.
+     */
+    bool serveOnce();
+
+  private:
+    struct Conn;
+    struct TaskState;
+
+    std::int64_t nowMs() const;
+    int backoffMs(int attempt);
+    void acceptPending();
+    void pumpConnections();
+    void handleFrame(Conn &conn, const Json &msg);
+    void dropConnection(std::size_t index);
+    void requeueTask(std::uint64_t id, bool throughBackoff);
+    void expireLeases();
+    void checkHeartbeats();
+    void reissueStragglers();
+    void dispatchReady();
+    void localFallback();
+    void runTaskLocally(std::uint64_t id);
+    void finishJob();
+    double latencyP99() const;
+    std::size_t usableWorkers() const;
+    void driveJob();
+
+    FleetConfig _cfg;
+    Socket _listener;
+    std::uint16_t _port = 0;
+    sim::Rng _jitter; ///< scheduling decisions only, never results
+
+    std::vector<Conn> _conns;
+    std::vector<TaskState> _states;
+    std::vector<TaskSpec> _tasks;
+    std::vector<std::uint64_t> _extraQueue; ///< straggler re-issues
+    SweepMerger *_merger = nullptr;
+    TaskRunner _localRunner;
+    std::vector<double> _latenciesMs; ///< completed-task latencies
+    std::int64_t _lastWorkerMs = 0;   ///< last usable-worker sighting
+
+    /** @name fleet.* metrics (see file header for stability). */
+    ///@{
+    sim::metrics::Counter &_mTasksTotal;
+    sim::metrics::Counter &_mTasksCompleted;
+    sim::metrics::Counter &_mPoints;
+    sim::metrics::Counter &_mRedispatches;
+    sim::metrics::Counter &_mLeaseExpiries;
+    sim::metrics::Counter &_mStragglers;
+    sim::metrics::Counter &_mDuplicates;
+    sim::metrics::Counter &_mDisconnects;
+    sim::metrics::Counter &_mQuarantines;
+    sim::metrics::Counter &_mReadmissions;
+    sim::metrics::Counter &_mLocalTasks;
+    sim::metrics::Gauge &_mWorkersPeak;
+    sim::metrics::Gauge &_mMergeLagPeak;
+    ///@}
+};
+
+} // namespace quest::fleet
+
+#endif // QUEST_FLEET_MANAGER_HPP

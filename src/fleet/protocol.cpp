@@ -1,0 +1,266 @@
+#include "protocol.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace quest::fleet {
+
+void
+Socket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+Socket
+listenTcp(std::uint16_t port, std::uint16_t &bound_port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return {};
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return {};
+    if (::listen(sock.fd(), 64) != 0)
+        return {};
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return {};
+    bound_port = ntohs(addr.sin_port);
+    return sock;
+}
+
+Socket
+acceptClient(const Socket &listener)
+{
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0)
+        return {};
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+Socket
+connectTcp(const std::string &host, std::uint16_t port,
+           int timeout_ms)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return {};
+
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!sock.valid())
+            return {};
+        if (::connect(sock.fd(),
+                      reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            const int one = 1;
+            ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return sock;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return {};
+        // The manager may still be binding; back off briefly.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+bool
+setNonBlocking(const Socket &sock)
+{
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    return flags >= 0
+        && ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+namespace {
+
+/** Write the whole buffer, waiting out EAGAIN with poll. */
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n > 0) {
+            data += n;
+            len -= std::size_t(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            // A peer that stops draining for this long is treated
+            // as dead; the lease machinery recovers the task.
+            if (::poll(&pfd, 1, 5000) <= 0)
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sendFrame(const Socket &sock, const Json &msg)
+{
+    const std::string payload = msg.dump();
+    if (payload.size() > maxFramePayload)
+        return false;
+    char header[4];
+    const std::uint32_t len = std::uint32_t(payload.size());
+    header[0] = char(len & 0xFF);
+    header[1] = char((len >> 8) & 0xFF);
+    header[2] = char((len >> 16) & 0xFF);
+    header[3] = char((len >> 24) & 0xFF);
+    return writeAll(sock.fd(), header, 4)
+        && writeAll(sock.fd(), payload.data(), payload.size());
+}
+
+namespace {
+
+/** Read exactly len bytes, honouring the deadline. */
+int
+readFully(int fd, char *data, std::size_t len, int timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(timeout_ms);
+    std::size_t got = 0;
+    while (got < len) {
+        const auto now = std::chrono::steady_clock::now();
+        const int remain = int(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, remain < 0 ? 0 : remain);
+        if (pr == 0)
+            return got == 0 ? 0 : -1; // mid-frame timeout = fault
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        const ssize_t n = ::recv(fd, data + got, len - got, 0);
+        if (n == 0)
+            return -1;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return -1;
+        }
+        got += std::size_t(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+recvFrame(const Socket &sock, Json &out, int timeout_ms)
+{
+    char header[4];
+    const int hr = readFully(sock.fd(), header, 4, timeout_ms);
+    if (hr <= 0)
+        return hr;
+    const std::uint32_t len = std::uint32_t(std::uint8_t(header[0]))
+        | std::uint32_t(std::uint8_t(header[1])) << 8
+        | std::uint32_t(std::uint8_t(header[2])) << 16
+        | std::uint32_t(std::uint8_t(header[3])) << 24;
+    if (len > maxFramePayload)
+        return -1;
+    std::string payload(len, '\0');
+    if (readFully(sock.fd(), payload.data(), len, timeout_ms) <= 0)
+        return -1;
+    return Json::parse(payload, out) ? 1 : -1;
+}
+
+bool
+FrameReader::pump(const Socket &sock)
+{
+    if (_poisoned)
+        return false;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n =
+            ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            _buffer.append(chunk, std::size_t(n));
+            // Early length sanity check: reject a hostile header
+            // before buffering toward it.
+            if (_buffer.size() >= 4) {
+                const std::uint32_t len =
+                    std::uint32_t(std::uint8_t(_buffer[0]))
+                    | std::uint32_t(std::uint8_t(_buffer[1])) << 8
+                    | std::uint32_t(std::uint8_t(_buffer[2])) << 16
+                    | std::uint32_t(std::uint8_t(_buffer[3])) << 24;
+                if (len > maxFramePayload) {
+                    _poisoned = true;
+                    return false;
+                }
+            }
+            continue;
+        }
+        if (n == 0)
+            return false; // orderly shutdown
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+FrameReader::next(Json &out)
+{
+    if (_buffer.size() < 4)
+        return false;
+    const std::uint32_t len = std::uint32_t(std::uint8_t(_buffer[0]))
+        | std::uint32_t(std::uint8_t(_buffer[1])) << 8
+        | std::uint32_t(std::uint8_t(_buffer[2])) << 16
+        | std::uint32_t(std::uint8_t(_buffer[3])) << 24;
+    if (_buffer.size() < 4 + std::size_t(len))
+        return false;
+    const std::string payload = _buffer.substr(4, len);
+    _buffer.erase(0, 4 + std::size_t(len));
+    if (!Json::parse(payload, out)) {
+        _poisoned = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace quest::fleet

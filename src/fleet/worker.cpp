@@ -1,0 +1,89 @@
+#include "worker.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "protocol.hpp"
+#include "sweep.hpp"
+
+namespace quest::fleet {
+
+WorkerExit
+runWorker(const WorkerConfig &cfg)
+{
+    Socket sock =
+        connectTcp(cfg.host, cfg.port, cfg.connectTimeoutMs);
+    if (!sock.valid())
+        return WorkerExit::ConnectionLost;
+
+    Json hello = Json::object();
+    hello.set("type", Json("hello"));
+    hello.set("worker", Json(cfg.name));
+    if (!sendFrame(sock, hello))
+        return WorkerExit::ConnectionLost;
+
+    sim::FaultInjector chaos(cfg.chaos);
+    TaskRunner runner;
+    std::uint64_t done = 0;
+
+    for (;;) {
+        Json msg;
+        const int rc = recvFrame(sock, msg, cfg.heartbeatMs);
+        if (rc < 0)
+            return WorkerExit::ConnectionLost;
+        if (rc == 0) {
+            // Nothing to do: prove liveness so the manager keeps
+            // us out of quarantine.
+            Json beat = Json::object();
+            beat.set("type", Json("heartbeat"));
+            beat.set("worker", Json(cfg.name));
+            if (!sendFrame(sock, beat))
+                return WorkerExit::ConnectionLost;
+            continue;
+        }
+        if (msg.type() != Json::Type::Object || !msg.has("type"))
+            continue;
+        const std::string type = msg.get("type").asString();
+        if (type == "shutdown")
+            return WorkerExit::Shutdown;
+        if (type != "task")
+            continue;
+
+        TaskSpec task;
+        if (!TaskSpec::fromJson(msg, task))
+            continue; // malformed lease; let it expire upstream
+
+        if (chaos.fire(sim::FaultSite::WorkerKill)) {
+            // Crash like a real process: no goodbye, just a dead
+            // socket for the manager's disconnect path to find.
+            sock.close();
+            return WorkerExit::KillInjected;
+        }
+
+        const TaskResult result = runner.run(task);
+        ++done;
+
+        if (chaos.fire(sim::FaultSite::WorkerStall))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg.stallMs));
+
+        if (chaos.fire(sim::FaultSite::ResultDrop)) {
+            // The lease expires upstream; the re-dispatched task
+            // recomputes the identical bytes elsewhere.
+        } else {
+            Json frame = result.toJson();
+            frame.set("type", Json("result"));
+            frame.set("worker", Json(cfg.name));
+            if (!sendFrame(sock, frame))
+                return WorkerExit::ConnectionLost;
+            if (chaos.fire(sim::FaultSite::DuplicateResult)
+                && !sendFrame(sock, frame))
+                return WorkerExit::ConnectionLost;
+        }
+
+        if (cfg.maxTasks != 0 && done >= cfg.maxTasks)
+            return WorkerExit::TaskLimit;
+    }
+}
+
+} // namespace quest::fleet

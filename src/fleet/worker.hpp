@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The fleet worker: `quest worker` — a blocking loop that pulls
+ * tasks from a manager, executes them with the shared deterministic
+ * TaskRunner, and ships back bit-exact partials.
+ *
+ * The worker is intentionally dumb: no retry logic, no local state
+ * worth preserving. All robustness lives in the manager; a worker
+ * that dies, stalls or drops a result costs the fleet one lease,
+ * never a byte of output.
+ *
+ * Chaos mode (sim::FaultInjector sites, seeded and reproducible)
+ * exists so the tests and the CI smoke job can exercise the
+ * manager's failure paths on demand:
+ *  - WorkerKill: sever the connection mid-task and exit, as a
+ *    crashed process would.
+ *  - WorkerStall: sit on the finished result past the lease.
+ *  - ResultDrop: complete the task but never transmit it.
+ *  - DuplicateResult: transmit the result twice.
+ */
+
+#ifndef QUEST_FLEET_WORKER_HPP
+#define QUEST_FLEET_WORKER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/fault_injector.hpp"
+
+namespace quest::fleet {
+
+/** Worker tuning and chaos knobs. */
+struct WorkerConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string name = "worker";
+
+    int connectTimeoutMs = 10000; ///< manager may come up late
+    int heartbeatMs = 400;        ///< idle heartbeat cadence
+    std::uint64_t maxTasks = 0;   ///< exit after N tasks (0 = run on)
+
+    /** Chaos fault rates (WorkerKill/Stall/Drop/Duplicate sites). */
+    sim::FaultConfig chaos = sim::FaultConfig::none();
+    int stallMs = 1000; ///< stall duration when WorkerStall fires
+};
+
+/** Worker exit status (the process exit code of `quest worker`). */
+enum class WorkerExit : int
+{
+    Shutdown = 0,     ///< manager said the job is done
+    ConnectionLost = 1, ///< manager gone (or never reachable)
+    KillInjected = 2, ///< chaos WorkerKill fired
+    TaskLimit = 3,    ///< maxTasks reached
+};
+
+/** Run the worker loop until shutdown, disconnect or chaos. */
+WorkerExit runWorker(const WorkerConfig &cfg);
+
+} // namespace quest::fleet
+
+#endif // QUEST_FLEET_WORKER_HPP

@@ -49,6 +49,16 @@ Rng::substream(std::uint64_t seed_value, std::uint64_t index)
 }
 
 std::uint64_t
+Rng::deriveSeed(std::uint64_t seed_value, std::uint64_t salt)
+{
+    // One splitmix64 step over the mixed key: the per-step bijection
+    // keeps distinct (seed, salt) pairs on distinct outputs, and the
+    // avalanche keeps adjacent salts uncorrelated.
+    std::uint64_t sm = seed_value ^ (salt * 0xBF58476D1CE4E5B9ull);
+    return splitmix64(sm);
+}
+
+std::uint64_t
 Rng::next()
 {
     const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;

@@ -52,6 +52,20 @@ class Rng
      */
     static Rng substream(std::uint64_t seed, std::uint64_t index);
 
+    /**
+     * Derive a new 64-bit seed keyed by (seed, salt), for layering
+     * substream families: a sweep with several grid points gives
+     * point k the seed `deriveSeed(seed, k)` and trial t of that
+     * point the stream `substream(deriveSeed(seed, k), t)`. The
+     * derivation is a splitmix64 step over the mixed key, so
+     * distinct salts land on well-separated seeds and the value is
+     * stable across platforms (the fleet's task-sharding contract:
+     * a worker reproduces the exact stream the single-process sweep
+     * used for the same (point, trial) coordinate).
+     */
+    static std::uint64_t deriveSeed(std::uint64_t seed,
+                                    std::uint64_t salt);
+
     /** @name UniformRandomBitGenerator interface (for <random>/shuffle). */
     ///@{
     using result_type = std::uint64_t;

@@ -85,8 +85,14 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    /** One participant's contiguous span of chunks. */
-    struct Shard
+    /**
+     * One participant's contiguous span of chunks. Padded to a
+     * cache line: the claim cursors are the only write-shared state
+     * on the dispatch path, and packing several shards into one
+     * line made every claim (and every thief's victim scan) a
+     * cross-core line transfer on fine-grained jobs.
+     */
+    struct alignas(64) Shard
     {
         std::atomic<std::uint64_t> next{0}; ///< next index to claim
         std::uint64_t end = 0;              ///< shard's index limit

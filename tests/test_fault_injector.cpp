@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/microcode.hpp"
 #include "core/network.hpp"
 #include "decode/pipeline.hpp"
@@ -93,6 +97,44 @@ TEST(FaultInjector, ReconfigureResetsStreamsAndCounters)
     EXPECT_EQ(inj.trialCount(FaultSite::DecoderOverrun), 0u);
     for (int i = 0; i < 64; ++i)
         EXPECT_EQ(inj.fire(FaultSite::DecoderOverrun), first[i]);
+}
+
+TEST(FaultInjector, FleetSitesAreCatalogued)
+{
+    // The fleet chaos sites (worker kill/stall, result drop/dup)
+    // ride the same seeded per-site machinery as the rest.
+    EXPECT_EQ(sim::faultSiteCount, 9u);
+    EXPECT_EQ(std::size(sim::allFaultSites), sim::faultSiteCount);
+    EXPECT_EQ(sim::faultSiteName(FaultSite::WorkerKill),
+              "worker-kill");
+    EXPECT_EQ(sim::faultSiteName(FaultSite::WorkerStall),
+              "worker-stall");
+    EXPECT_EQ(sim::faultSiteName(FaultSite::ResultDrop),
+              "result-drop");
+    EXPECT_EQ(sim::faultSiteName(FaultSite::DuplicateResult),
+              "duplicate-result");
+
+    // Distinct, non-empty names across the whole catalog.
+    std::vector<std::string> names;
+    for (FaultSite s : sim::allFaultSites) {
+        EXPECT_FALSE(sim::faultSiteName(s).empty());
+        names.push_back(sim::faultSiteName(s));
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+
+    // And they replay deterministically like every other site.
+    FaultConfig cfg;
+    cfg.seed = 2024;
+    cfg.rate(FaultSite::WorkerKill) = 0.25;
+    cfg.rate(FaultSite::ResultDrop) = 0.25;
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 1024; ++i) {
+        EXPECT_EQ(a.fire(FaultSite::WorkerKill),
+                  b.fire(FaultSite::WorkerKill));
+        EXPECT_EQ(a.fire(FaultSite::ResultDrop),
+                  b.fire(FaultSite::ResultDrop));
+    }
 }
 
 // --- PacketNetwork ARQ ---------------------------------------------

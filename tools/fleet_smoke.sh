@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+#
+# fleet_smoke.sh -- end-to-end determinism smoke for the sweep fleet.
+#
+# Runs the same sweep two ways and demands byte-identical CSVs:
+#
+#   1. `quest serve --local`: in-process, no sockets (the golden).
+#   2. A real manager with one worker that deterministically dies on
+#      its first task (seeded chaos injection) plus one clean worker
+#      that finishes the job.
+#
+# The manager's wallclock metrics must witness the failure path (at
+# least one re-dispatch after a worker disconnect) -- proving the
+# bytes survived an actual worker loss, not just a clean run.
+#
+# Usage: tools/fleet_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+QUEST="$BUILD/tools/quest"
+if [ ! -x "$QUEST" ]; then
+    echo "fleet_smoke: $QUEST not built" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d)"
+cleanup() {
+    local pids
+    pids="$(jobs -p)" || true
+    # shellcheck disable=SC2086
+    [ -n "$pids" ] && kill $pids 2> /dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SWEEP=(--protocols Steane --distances 3 --error-rates 2e-3,5e-3
+       --trials 96 --grain 16 --seed 77)
+
+echo "fleet_smoke: golden run (quest serve --local)"
+"$QUEST" serve --local "${SWEEP[@]}" --csv "$WORK/golden.csv" \
+    > /dev/null
+
+echo "fleet_smoke: fleet run (manager + chaotic + steady worker)"
+"$QUEST" serve "${SWEEP[@]}" --port-file "$WORK/port" \
+    --csv "$WORK/fleet.csv" \
+    --metrics-out "$WORK/metrics.json" --metrics-wallclock \
+    --lease-ms 700 --fallback-ms 8000 \
+    > /dev/null 2> "$WORK/manager.log" &
+MANAGER=$!
+
+# Dies on its first task (exit code 2, KillInjected) -- the manager
+# must detect the disconnect and re-lease the task elsewhere.
+"$QUEST" worker --port-file "$WORK/port" --name chaotic \
+    --chaos-kill 1.0 --chaos-seed 7 2> /dev/null || true &
+
+# Give the chaotic worker time to claim a task before competition
+# arrives; the steady worker then drains the rest of the sweep.
+sleep 0.3
+"$QUEST" worker --port-file "$WORK/port" --name steady \
+    2> /dev/null || true &
+
+if ! wait "$MANAGER"; then
+    echo "fleet_smoke: FAIL -- manager exited non-zero" >&2
+    cat "$WORK/manager.log" >&2
+    exit 1
+fi
+
+if ! diff -u "$WORK/golden.csv" "$WORK/fleet.csv"; then
+    echo "fleet_smoke: FAIL -- merged CSV diverges from the" \
+         "single-box golden" >&2
+    exit 1
+fi
+
+python3 - "$WORK/metrics.json" << 'EOF'
+import json
+import sys
+
+m = json.load(open(sys.argv[1]))
+total = m.get("fleet.tasks_total", 0)
+done = m.get("fleet.tasks_completed", 0)
+redispatches = m.get("fleet.redispatches", 0)
+disconnects = m.get("fleet.worker_disconnects", 0)
+print("fleet_smoke: tasks %d/%d, redispatches %d, disconnects %d"
+      % (done, total, redispatches, disconnects))
+if total == 0 or done != total:
+    sys.exit("fleet_smoke: FAIL -- incomplete sweep")
+if redispatches < 1:
+    sys.exit("fleet_smoke: FAIL -- the chaos kill never exercised "
+             "the re-dispatch path")
+EOF
+
+echo "fleet_smoke: PASS -- byte-identical after worker loss"

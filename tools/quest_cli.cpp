@@ -14,10 +14,17 @@
  *   verify     static verification of control-plane artifacts
  *              (microcode equivalence, budgets, hazards, ISA) with
  *              machine-readable diagnostics.
+ *   serve      fleet manager: farm a Monte-Carlo sweep to workers
+ *              over TCP (bit-identical to a local run).
+ *   worker     fleet worker: pull tasks from a manager; chaos
+ *              flags inject seeded failures for testing.
+ *   submit     send a sweep job to a waiting manager and print the
+ *              merged CSV it returns.
  *
  * Run `quest <subcommand> --help` for the flags of each.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,10 +33,13 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/system.hpp"
 #include "decode/pipeline.hpp"
+#include "fleet/manager.hpp"
+#include "fleet/worker.hpp"
 #include "isa/trace.hpp"
 #include "qecc/extractor.hpp"
 #include "sim/metrics.hpp"
@@ -391,6 +401,207 @@ cmdVerify(const Options &opts)
     return combined.ok() ? 0 : 1;
 }
 
+/** Split a comma-separated flag value ("3,5,7"). */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? value.size() : comma;
+        if (end > start)
+            parts.push_back(value.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+/** Build a SweepSpec from the shared sweep grid flags. */
+fleet::SweepSpec
+sweepSpecFromFlags(const Options &opts)
+{
+    fleet::SweepSpec spec;
+    spec.protocols.clear();
+    for (const std::string &name :
+         splitList(opts.get("protocols", "Steane")))
+        spec.protocols.push_back(parseProtocol(name));
+    spec.distances.clear();
+    for (const std::string &d :
+         splitList(opts.get("distances", "3,5")))
+        spec.distances.push_back(std::size_t(std::atol(d.c_str())));
+    spec.errorRates.clear();
+    for (const std::string &p :
+         splitList(opts.get("error-rates", "1e-3")))
+        spec.errorRates.push_back(std::atof(p.c_str()));
+    spec.trialsPerPoint = std::uint64_t(opts.getInt("trials", 256));
+    spec.grain = std::uint64_t(opts.getInt("grain", 64));
+    spec.seed = std::uint64_t(opts.getInt("seed", 1));
+    if (!spec.valid())
+        sim::fatal("invalid sweep grid: need non-empty axes, odd "
+                   "distances in [3,63], error rates in [0,1], "
+                   "positive --trials/--grain");
+    return spec;
+}
+
+void
+writeSweepOutputs(const sim::Table &table, const Options &opts)
+{
+    table.print(std::cout);
+    if (opts.has("csv")) {
+        const std::string path = opts.get("csv", "sweep.csv");
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot write CSV to %s", path.c_str());
+        table.printCsv(os);
+        std::fprintf(stderr, "wrote CSV to %s\n", path.c_str());
+    }
+}
+
+int
+cmdServe(const Options &opts)
+{
+    if (opts.has("local")) {
+        // Degraded mode: no sockets at all, same bytes out.
+        writeSweepOutputs(
+            fleet::runSweepLocal(sweepSpecFromFlags(opts)), opts);
+        return 0;
+    }
+
+    fleet::FleetConfig cfg;
+    cfg.port = std::uint16_t(opts.getInt("port", 0));
+    cfg.leaseMs = int(opts.getInt("lease-ms", cfg.leaseMs));
+    cfg.backoffBaseMs =
+        int(opts.getInt("backoff-ms", cfg.backoffBaseMs));
+    cfg.backoffJitter =
+        opts.getDouble("backoff-jitter", cfg.backoffJitter);
+    cfg.redispatchBudget =
+        int(opts.getInt("budget", cfg.redispatchBudget));
+    cfg.stragglerFactor =
+        opts.getDouble("straggler-factor", cfg.stragglerFactor);
+    cfg.heartbeatMs =
+        int(opts.getInt("heartbeat-ms", cfg.heartbeatMs));
+    cfg.localFallbackMs =
+        int(opts.getInt("fallback-ms", cfg.localFallbackMs));
+    cfg.schedulerSeed = std::uint64_t(
+        opts.getInt("scheduler-seed", long(cfg.schedulerSeed)));
+    cfg.submitTimeoutMs =
+        int(opts.getInt("submit-timeout-ms", -1));
+
+    fleet::Manager manager(cfg);
+    if (opts.has("port-file")) {
+        // The orchestrator (CI script, tests) learns the ephemeral
+        // port from this file; write it only once we are bound.
+        const std::string path = opts.get("port-file", "port");
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot write port file %s", path.c_str());
+        os << manager.port() << "\n";
+    }
+    std::fprintf(stderr, "fleet: listening on 127.0.0.1:%u\n",
+                 unsigned(manager.port()));
+
+    if (opts.has("await-job"))
+        return manager.serveOnce() ? 0 : 1;
+
+    writeSweepOutputs(manager.runSweep(sweepSpecFromFlags(opts)),
+                      opts);
+    return 0;
+}
+
+/** Resolve --port / --port-file into a port, waiting for the file. */
+std::uint16_t
+resolvePort(const Options &opts, int timeout_ms)
+{
+    if (!opts.has("port-file"))
+        return std::uint16_t(opts.getInt("port", 0));
+    const std::string path = opts.get("port-file", "port");
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        std::ifstream is(path);
+        long port = 0;
+        if (is && (is >> port) && port > 0 && port < 65536)
+            return std::uint16_t(port);
+        if (std::chrono::steady_clock::now() >= deadline)
+            sim::fatal("no usable port in %s after %d ms",
+                       path.c_str(), timeout_ms);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+}
+
+int
+cmdWorker(const Options &opts)
+{
+    fleet::WorkerConfig cfg;
+    cfg.host = opts.get("host", "127.0.0.1");
+    cfg.connectTimeoutMs =
+        int(opts.getInt("connect-timeout-ms", cfg.connectTimeoutMs));
+    cfg.port = resolvePort(opts, cfg.connectTimeoutMs);
+    cfg.name = opts.get("name", "worker");
+    cfg.heartbeatMs =
+        int(opts.getInt("heartbeat-ms", cfg.heartbeatMs));
+    cfg.maxTasks = std::uint64_t(opts.getInt("max-tasks", 0));
+    cfg.stallMs = int(opts.getInt("stall-ms", cfg.stallMs));
+
+    cfg.chaos.seed =
+        std::uint64_t(opts.getInt("chaos-seed", 0x5EEDFAB5));
+    cfg.chaos.rate(sim::FaultSite::WorkerKill) =
+        opts.getDouble("chaos-kill", 0.0);
+    cfg.chaos.rate(sim::FaultSite::WorkerStall) =
+        opts.getDouble("chaos-stall", 0.0);
+    cfg.chaos.rate(sim::FaultSite::ResultDrop) =
+        opts.getDouble("chaos-drop", 0.0);
+    cfg.chaos.rate(sim::FaultSite::DuplicateResult) =
+        opts.getDouble("chaos-dup", 0.0);
+
+    const fleet::WorkerExit rc = fleet::runWorker(cfg);
+    if (rc == fleet::WorkerExit::Shutdown
+        || rc == fleet::WorkerExit::TaskLimit)
+        return 0;
+    return int(rc);
+}
+
+int
+cmdSubmit(const Options &opts)
+{
+    const std::uint16_t port = resolvePort(
+        opts, int(opts.getInt("connect-timeout-ms", 10000)));
+    fleet::Socket sock = fleet::connectTcp(
+        opts.get("host", "127.0.0.1"), port,
+        int(opts.getInt("connect-timeout-ms", 10000)));
+    if (!sock.valid())
+        sim::fatal("cannot reach manager on port %u",
+                   unsigned(port));
+
+    fleet::Json msg = fleet::Json::object();
+    msg.set("type", fleet::Json("submit"));
+    msg.set("spec", sweepSpecFromFlags(opts).toJson());
+    if (!fleet::sendFrame(sock, msg))
+        sim::fatal("manager rejected the job submission");
+
+    fleet::Json reply;
+    const int timeout =
+        int(opts.getInt("job-timeout-ms", 600000));
+    if (fleet::recvFrame(sock, reply, timeout) != 1
+        || reply.getString("type", "") != "table")
+        sim::fatal("no table from the manager");
+    const std::string csv = reply.getString("csv", "");
+    std::fputs(csv.c_str(), stdout);
+    if (opts.has("csv")) {
+        const std::string path = opts.get("csv", "sweep.csv");
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot write CSV to %s", path.c_str());
+        os << csv;
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -413,11 +624,27 @@ usage()
         "             [--tech T] [--channels N] [--bank-bits N]\n"
         "             [--trace FILE] [--epsilon E] [--json FILE]\n"
         "             (defaults sweep every protocol x design)\n"
+        "  serve      [--port P] [--port-file FILE] [--csv FILE]\n"
+        "             [--protocols A,B] [--distances 3,5]\n"
+        "             [--error-rates 1e-3,...] [--trials N]\n"
+        "             [--grain N] [--seed S] [--local]\n"
+        "             [--lease-ms N] [--backoff-ms N] [--budget N]\n"
+        "             [--straggler-factor F] [--fallback-ms N]\n"
+        "             [--await-job [--submit-timeout-ms N]]\n"
+        "  worker     --port P | --port-file FILE  [--name NAME]\n"
+        "             [--max-tasks N] [--chaos-kill P]\n"
+        "             [--chaos-stall P] [--chaos-drop P]\n"
+        "             [--chaos-dup P] [--chaos-seed S]\n"
+        "             [--stall-ms N]\n"
+        "  submit     --port P | --port-file FILE  [sweep flags]\n"
+        "             [--csv FILE] [--job-timeout-ms N]\n"
         "\n"
         "observability (any subcommand):\n"
         "  --trace-out FILE    write a Chrome-trace JSON of the run\n"
         "                      (open in Perfetto / chrome://tracing)\n"
-        "  --metrics-out FILE  write the metrics registry as JSON");
+        "  --metrics-out FILE  write the metrics registry as JSON\n"
+        "  --metrics-wallclock also emit scheduling-dependent\n"
+        "                      (Wallclock) metrics in --metrics-out");
 }
 
 /**
@@ -452,7 +679,7 @@ writeObservabilityOutputs(const Options &opts)
             std::fprintf(stderr, "cannot write metrics to %s\n",
                          path.c_str());
         } else {
-            sim::metricsWriteJson(os);
+            sim::metricsWriteJson(os, opts.has("metrics-wallclock"));
             std::fprintf(stderr, "wrote metrics to %s\n",
                          path.c_str());
         }
@@ -486,6 +713,12 @@ main(int argc, char **argv)
             rc = cmdSimulate(opts);
         else if (cmd == "verify")
             rc = cmdVerify(opts);
+        else if (cmd == "serve")
+            rc = cmdServe(opts);
+        else if (cmd == "worker")
+            rc = cmdWorker(opts);
+        else if (cmd == "submit")
+            rc = cmdSubmit(opts);
         else {
             usage();
             return 2;
