@@ -14,7 +14,14 @@ LogicalInstructionCache::LogicalInstructionCache(
       _hits(_stats.scalar("hits", "logical cache hits")),
       _misses(_stats.scalar("misses", "logical cache misses")),
       _busBytes(_stats.scalar("bus_bytes",
-                              "global bus bytes for logical delivery"))
+                              "global bus bytes for logical delivery")),
+      _mHits(sim::metrics::Registry::global().counter(
+          "mce.icache.hits", "logical instruction-cache hits")),
+      _mMisses(sim::metrics::Registry::global().counter(
+          "mce.icache.misses", "logical instruction-cache misses")),
+      _mBusBytes(sim::metrics::Registry::global().counter(
+          "mce.icache.bus_bytes",
+          "global bus bytes spent on logical-block delivery"))
 {
     parent.addChild(_stats);
 }
@@ -44,15 +51,6 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
                                  const isa::LogicalTrace &body)
 {
     QUEST_TRACE_SCOPE("mce", "icache_execute");
-    auto &registry = sim::metrics::Registry::global();
-    static auto &hit_count = registry.counter(
-        "mce.icache.hits", "logical instruction-cache hits");
-    static auto &miss_count = registry.counter(
-        "mce.icache.misses", "logical instruction-cache misses");
-    static auto &bus_bytes = registry.counter(
-        "mce.icache.bus_bytes",
-        "global bus bytes spent on logical-block delivery");
-
     ICacheAccess out;
     out.instructions = body.size();
 
@@ -61,8 +59,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
         out.bytesFetched = body.bytes();
         _busBytes += double(out.bytesFetched);
         ++_misses;
-        ++miss_count;
-        bus_bytes += out.bytesFetched;
+        ++_mMisses;
+        _mBusBytes += out.bytesFetched;
         return out;
     }
 
@@ -72,8 +70,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
         out.bytesFetched = replayTokenBytes;
         _busBytes += double(replayTokenBytes);
         ++_hits;
-        ++hit_count;
-        bus_bytes += replayTokenBytes;
+        ++_mHits;
+        _mBusBytes += replayTokenBytes;
         return out;
     }
 
@@ -81,8 +79,8 @@ LogicalInstructionCache::execute(std::uint32_t block_id,
     out.bytesFetched = body.bytes();
     _busBytes += double(out.bytesFetched);
     ++_misses;
-    ++miss_count;
-    bus_bytes += out.bytesFetched;
+    ++_mMisses;
+    _mBusBytes += out.bytesFetched;
 
     if (body.size() <= _capacity) {
         evictUntilFits(body.size());

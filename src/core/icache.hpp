@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "isa/trace.hpp"
+#include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace quest::core {
@@ -85,6 +86,12 @@ class LogicalInstructionCache
     sim::Scalar &_hits;
     sim::Scalar &_misses;
     sim::Scalar &_busBytes;
+
+    // Constructor-bound registry counters (no function-local
+    // statics; they outlive registry resets).
+    sim::metrics::Counter &_mHits;
+    sim::metrics::Counter &_mMisses;
+    sim::metrics::Counter &_mBusBytes;
 
     void touch(std::uint32_t block_id);
     void evictUntilFits(std::size_t need);

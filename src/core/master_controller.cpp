@@ -1,5 +1,7 @@
 #include "master_controller.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
@@ -29,6 +31,26 @@ deadlineConfigFor(const MasterConfig &cfg)
         ? cfg.decodeWindowRounds
         : cfg.mce.distance;
     dl.windowTicks = sim::Tick(window) * spec.roundDuration(lat);
+    return dl;
+}
+
+/**
+ * Streaming deadline: the real-time budget for one window is the
+ * wall-clock the stride's worth of rounds takes to extract -- the
+ * decoder must keep up with the slide rate, exactly as the offline
+ * decoder must keep up with its decode cadence. With
+ * streamStrideRounds == decodeWindowRounds the two budgets coincide,
+ * which the W==S equivalence test relies on.
+ */
+decode::DeadlineConfig
+streamDeadlineFor(const MasterConfig &cfg, std::size_t stride)
+{
+    decode::DeadlineConfig dl;
+    if (!cfg.modelDecodeDeadline)
+        return dl;
+    const auto &spec = qecc::protocolSpec(cfg.mce.protocol);
+    const auto lat = tech::gateLatencies(cfg.mce.technology);
+    dl.windowTicks = sim::Tick(stride) * spec.roundDuration(lat);
     return dl;
 }
 
@@ -117,6 +139,26 @@ MasterController::MasterController(const MasterConfig &cfg)
         _decoders[i].setMaskPredicate(predicate);
         _clusterDecoders[i].setMaskPredicate(predicate);
     }
+    if (streamingDecode()) {
+        decode::StreamConfig sc;
+        sc.windowRounds = _cfg.streamWindowRounds;
+        sc.strideRounds = streamStride();
+        sc.deadline = streamDeadlineFor(_cfg, sc.strideRounds);
+        for (std::size_t i = 0; i < _mces.size(); ++i) {
+            // The MCE stops accumulating its offline decode window:
+            // every extracted round is handed to the streamer
+            // instead, so nothing is double-decoded.
+            _mces[i]->setWindowBuffering(false);
+            _streamers.push_back(
+                std::make_unique<decode::StreamingDecoder>(
+                    _mces[i]->extractor(), sc));
+            Mce *mce = _mces[i].get();
+            _streamers.back()->setMaskPredicate(
+                [mce](std::size_t q) {
+                    return mce->maskTable().masked(q);
+                });
+        }
+    }
     // Link-level retry counters, mirrored so the faults group is the
     // one-stop report a fault sweep reads.
     _faultStats.formula("network_retransmits",
@@ -157,6 +199,14 @@ MasterController::decodeWindow() const
 {
     return _cfg.decodeWindowRounds ? _cfg.decodeWindowRounds
                                    : _cfg.mce.distance;
+}
+
+std::size_t
+MasterController::streamStride() const
+{
+    if (_cfg.streamStrideRounds)
+        return _cfg.streamStrideRounds;
+    return std::max<std::size_t>(1, _cfg.streamWindowRounds / 2);
 }
 
 void
@@ -278,8 +328,17 @@ MasterController::stepRound()
     QUEST_TRACE_SCOPE("master", "step_round");
     if (_faults.enabled())
         injectRoundFaults();
-    for (auto &m : _mces)
-        m->runQeccRound();
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        Mce &m = *_mces[i];
+        const std::size_t before = m.roundsRun();
+        const qecc::SyndromeRound &round = m.runQeccRound();
+        // A wedged engine extracts nothing (roundsRun stalls); the
+        // stale round it returns must not enter the stream.
+        if (streamingDecode() && m.roundsRun() > before) {
+            if (auto commit = _streamers[i]->pushRound(round))
+                commitStream(i, *commit);
+        }
+    }
     ++_roundsRun;
     ++_roundsSinceDecode;
     if (_cfg.heartbeatIntervalRounds
@@ -288,7 +347,9 @@ MasterController::stepRound()
     if (_cfg.scrubIntervalRounds
         && _roundsRun % _cfg.scrubIntervalRounds == 0)
         scrubNow();
-    if (_roundsSinceDecode >= decodeWindow())
+    // Streaming windows commit on their own cadence inside
+    // pushRound; the offline collect-then-decode trigger stays off.
+    if (!streamingDecode() && _roundsSinceDecode >= decodeWindow())
         decodeNow();
 }
 
@@ -346,8 +407,43 @@ MasterController::scrubNow()
 }
 
 void
+MasterController::commitStream(std::size_t mce_idx,
+                               const decode::StreamCommit &commit)
+{
+    // The syndrome bus carries each residual event once, in the
+    // window that first forwards it past the local LUT stage.
+    if (commit.forwardedEvents > 0)
+        sendOnBus(mce_idx,
+                  commit.forwardedEvents
+                      * decode::detectionEventBytes,
+                  _bytesSyndrome);
+    if (commit.fallback) {
+        ++_decoderOverruns;
+        ++_decoderFallbacks;
+        _mces[mce_idx]->stretchNoise(commit.stretch, streamStride());
+    }
+    if (commit.correction.weight() > 0)
+        sendOnBus(mce_idx,
+                  commit.correction.weight() * correctionEntryBytes,
+                  _bytesCorrections);
+    _mces[mce_idx]->applyCorrection(commit.correction);
+}
+
+void
+MasterController::flushStreamTile(std::size_t mce_idx)
+{
+    QUEST_TRACE_SCOPE("master", "stream_flush");
+    if (auto commit = _streamers[mce_idx]->finish())
+        commitStream(mce_idx, *commit);
+}
+
+void
 MasterController::decodeTile(std::size_t mce_idx)
 {
+    if (streamingDecode()) {
+        flushStreamTile(mce_idx);
+        return;
+    }
     QUEST_TRACE_SCOPE("master", "decode_tile");
     const decode::DetectionEvents residual =
         _mces[mce_idx]->collectResidualEvents();

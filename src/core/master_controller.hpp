@@ -20,6 +20,7 @@
 #include "decode/cluster_decoder.hpp"
 #include "decode/mwpm_decoder.hpp"
 #include "decode/pipeline.hpp"
+#include "decode/streaming.hpp"
 #include "mce.hpp"
 #include "network.hpp"
 #include "sim/fault_injector.hpp"
@@ -42,6 +43,18 @@ struct MasterConfig
     /** QECC rounds between global decodes; 0 means one code
      *  distance's worth (the standard decode cadence). */
     std::size_t decodeWindowRounds = 0;
+
+    /** Streaming sliding-window decode: when nonzero, the offline
+     *  collect-then-decode cadence is replaced by a per-tile
+     *  decode::StreamingDecoder that consumes every round as it is
+     *  extracted and commits overlapping windows of this many
+     *  rounds. 0 keeps the offline path bit-identical to before. */
+    std::size_t streamWindowRounds = 0;
+
+    /** Streaming commit/slide distance; 0 picks half the window
+     *  (minimum 1). streamStrideRounds == streamWindowRounds gives
+     *  non-overlapping windows, the offline cadence. */
+    std::size_t streamStrideRounds = 0;
 
     /** Global interconnect parameters (mceCount is overridden to
      *  numMces at construction). */
@@ -146,8 +159,22 @@ class MasterController
             stepRound();
     }
 
-    /** Force a global decode immediately. */
+    /** Force a global decode immediately. In streaming mode this
+     *  flushes every tile's streaming decoder (an end-of-shot
+     *  barrier), committing all buffered rounds. */
     void decodeNow();
+
+    /** True when the streaming sliding-window decode path is on. */
+    bool streamingDecode() const
+    {
+        return _cfg.streamWindowRounds > 0;
+    }
+
+    /** Tile i's streaming decoder (streaming mode only). */
+    const decode::StreamingDecoder &streamer(std::size_t i) const
+    {
+        return *_streamers.at(i);
+    }
 
     /** @name Classical resilience. */
     ///@{
@@ -232,6 +259,8 @@ class MasterController
     std::vector<std::unique_ptr<Mce>> _mces;
     std::vector<decode::MwpmDecoder> _decoders;
     std::vector<decode::ClusterDecoder> _clusterDecoders;
+    /** Per-tile streaming decoders; empty in offline mode. */
+    std::vector<std::unique_ptr<decode::StreamingDecoder>> _streamers;
 
     std::size_t _roundsRun = 0;
     std::size_t _roundsSinceDecode = 0;
@@ -265,6 +294,16 @@ class MasterController
     sim::Scalar &_packetsAbandoned;
 
     std::size_t decodeWindow() const;
+
+    /** Resolved streaming commit/slide distance. */
+    std::size_t streamStride() const;
+
+    /** Bus/fault accounting for one streaming window commit. */
+    void commitStream(std::size_t mce_idx,
+                      const decode::StreamCommit &commit);
+
+    /** Flush tile i's streaming decoder (commit everything). */
+    void flushStreamTile(std::size_t mce_idx);
 
     /**
      * Send one bus packet, charging `category`, with supervisor

@@ -74,7 +74,24 @@ Mce::Mce(std::string name, const MceConfig &cfg)
       _roundsStat(_stats.scalar("qecc_rounds", "QECC rounds executed")),
       _seuUopErrors(_stats.scalar(
           "seu_uop_errors",
-          "stray errors from SEU-corrupted microcode words"))
+          "stray errors from SEU-corrupted microcode words")),
+      _mReplayRounds(sim::metrics::Registry::global().counter(
+          "mce.replay.rounds",
+          "QECC rounds replayed from microcode")),
+      _mReplayUops(sim::metrics::Registry::global().counter(
+          "mce.replay.uops", "non-Nop uops streamed per replay")),
+      _mReplayUcodeBits(sim::metrics::Registry::global().counter(
+          "mce.replay.microcode_bits",
+          "bits read out of the local microcode memory")),
+      _mReplayHungRounds(sim::metrics::Registry::global().counter(
+          "mce.replay.hung_rounds",
+          "rounds skipped because the engine was wedged")),
+      _mReplaySeuErrors(sim::metrics::Registry::global().counter(
+          "mce.replay.seu_uop_errors",
+          "stray errors replayed from SEU-corrupted words")),
+      _mLogicalInstrs(sim::metrics::Registry::global().counter(
+          "mce.pipeline.logical_instrs",
+          "logical instructions entering the MCE pipeline"))
 {
     const auto &spec = qecc::protocolSpec(cfg.protocol);
     _baseSchedule = std::make_unique<RoundSchedule>(
@@ -184,10 +201,7 @@ void
 Mce::executeLogical(const LogicalInstr &instr)
 {
     QUEST_TRACE_SCOPE("mce", "logical_instr");
-    static auto &logical_instrs = sim::metrics::Registry::global()
-        .counter("mce.pipeline.logical_instrs",
-                 "logical instructions entering the MCE pipeline");
-    ++logical_instrs;
+    ++_mLogicalInstrs;
     if (instr.opcode == LogicalOpcode::Nop
         || instr.opcode == LogicalOpcode::SyncToken)
         return;
@@ -337,23 +351,8 @@ const qecc::SyndromeRound &
 Mce::runQeccRound()
 {
     QUEST_TRACE_SCOPE("mce", "qecc_round");
-    auto &registry = sim::metrics::Registry::global();
-    static auto &rounds = registry.counter(
-        "mce.replay.rounds", "QECC rounds replayed from microcode");
-    static auto &uops = registry.counter(
-        "mce.replay.uops", "non-Nop uops streamed per replay");
-    static auto &ucode_bits = registry.counter(
-        "mce.replay.microcode_bits",
-        "bits read out of the local microcode memory");
-    static auto &hung_rounds = registry.counter(
-        "mce.replay.hung_rounds",
-        "rounds skipped because the engine was wedged");
-    static auto &seu_errors = registry.counter(
-        "mce.replay.seu_uop_errors",
-        "stray errors replayed from SEU-corrupted words");
-
     if (_hung) {
-        ++hung_rounds;
+        ++_mReplayHungRounds;
         // A wedged engine streams nothing: the tile idles
         // uncorrected and decoheres for the round. No syndrome is
         // extracted (nothing read the ancillas), so the errors
@@ -394,7 +393,7 @@ Mce::runQeccRound()
             _frame.injectX(_lattice->index(
                 data[placement.uniformInt(data.size())]));
             ++_seuUopErrors;
-            ++seu_errors;
+            ++_mReplaySeuErrors;
         }
     }
 
@@ -415,18 +414,21 @@ Mce::runQeccRound()
                 ++round_uops;
         }
         _microcodeBits += double(n * uop_bits);
-        ucode_bits += std::uint64_t(n) * uop_bits;
+        _mReplayUcodeBits += std::uint64_t(n) * uop_bits;
         _execUnit.masterClock();
     }
     _qeccUops += double(round_uops);
-    uops += round_uops;
+    _mReplayUops += round_uops;
 
     // Functional effect: evolve the frame and read the syndromes.
     _lastRound = _extractor->runRound(_frame, &_channel);
-    _window.push_back(_lastRound);
+    // Streaming mode hands rounds off as extracted; buffering them
+    // here too would grow _window without bound.
+    if (_windowBuffering)
+        _window.push_back(_lastRound);
     ++_roundsRun;
     ++_roundsStat;
-    ++rounds;
+    ++_mReplayRounds;
 
     if (_stretchRounds > 0 && --_stretchRounds == 0)
         _channel.setRates(_cfg.errorRates);

@@ -36,6 +36,7 @@
 #include "qecc/extractor.hpp"
 #include "qecc/logical_mask.hpp"
 #include "quantum/error_model.hpp"
+#include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace quest::sim {
@@ -169,6 +170,20 @@ class Mce
     decode::DetectionEvents collectResidualEvents();
 
     /**
+     * Streaming hand-off: when buffering is off, extracted rounds
+     * are not accumulated into the offline decode window -- the
+     * master feeds each round to a decode::StreamingDecoder as it is
+     * extracted instead, and collectResidualEvents() drains nothing.
+     */
+    void setWindowBuffering(bool on) { _windowBuffering = on; }
+
+    /** The syndrome extractor replaying this tile's microcode. */
+    const qecc::SyndromeExtractor &extractor() const
+    {
+        return *_extractor;
+    }
+
+    /**
      * Record a global-decoder correction. Following the paper
      * (Appendix A.2), corrections are not executed on the qubits:
      * they accumulate in a classical Pauli ledger that is folded in
@@ -282,6 +297,7 @@ class Mce
     int _nextLogicalId = 0;
 
     std::size_t _roundsRun = 0;
+    bool _windowBuffering = true;
     std::vector<qecc::SyndromeRound> _window;
     std::optional<qecc::SyndromeRound> _windowBaseline;
     std::size_t _windowFirstRound = 0;
@@ -293,6 +309,16 @@ class Mce
     sim::Scalar &_eventsLocal;
     sim::Scalar &_roundsStat;
     sim::Scalar &_seuUopErrors;
+
+    // Registry counters bound at construction; never function-local
+    // statics (those outlive registry resets -- see the
+    // registry-lifetime regression test).
+    sim::metrics::Counter &_mReplayRounds;
+    sim::metrics::Counter &_mReplayUops;
+    sim::metrics::Counter &_mReplayUcodeBits;
+    sim::metrics::Counter &_mReplayHungRounds;
+    sim::metrics::Counter &_mReplaySeuErrors;
+    sim::metrics::Counter &_mLogicalInstrs;
 
     /** Rebuild the mask-filtered schedule after mask changes. */
     void rebuildMaskedSchedule();

@@ -140,7 +140,15 @@ MicrocodeStore::MicrocodeStore(std::size_t bits,
     : _bits(bits), _wordBits(word_bits),
       _flipsPerWord(word_bits ? (bits + word_bits - 1) / word_bits
                               : 0,
-                    0)
+                    0),
+      _mSeuFlips(sim::metrics::Registry::global().counter(
+          "mce.microcode.seu_flips",
+          "single-event upsets injected into microcode stores")),
+      _mRepairs(sim::metrics::Registry::global().counter(
+          "mce.microcode.repairs", "microcode image scrub rewrites")),
+      _mRepairBytes(sim::metrics::Registry::global().counter(
+          "mce.microcode.repair_bytes",
+          "bytes rewritten by microcode scrubbing"))
 {
     QUEST_ASSERT(bits == 0 || word_bits > 0,
                  "microcode store needs a nonzero word size");
@@ -150,10 +158,7 @@ std::size_t
 MicrocodeStore::flipRandomBit(sim::Rng &rng)
 {
     QUEST_ASSERT(_bits > 0, "SEU in an empty microcode store");
-    static auto &seu_flips = sim::metrics::Registry::global().counter(
-        "mce.microcode.seu_flips",
-        "single-event upsets injected into microcode stores");
-    ++seu_flips;
+    ++_mSeuFlips;
     const std::size_t bit = rng.uniformInt(_bits);
     const std::size_t word = bit / _wordBits;
     // Parity sees the word's flip count modulo two.
@@ -179,18 +184,12 @@ MicrocodeStore::silentBits() const
 std::size_t
 MicrocodeStore::repair()
 {
-    auto &registry = sim::metrics::Registry::global();
-    static auto &repairs = registry.counter(
-        "mce.microcode.repairs", "microcode image scrub rewrites");
-    static auto &repair_bytes = registry.counter(
-        "mce.microcode.repair_bytes",
-        "bytes rewritten by microcode scrubbing");
-    ++repairs;
+    ++_mRepairs;
     std::fill(_flipsPerWord.begin(), _flipsPerWord.end(), 0);
     _flipped = 0;
     _oddWords = 0;
     const std::size_t bytes = imageBytes();
-    repair_bytes += bytes;
+    _mRepairBytes += bytes;
     return bytes;
 }
 

@@ -32,6 +32,7 @@
 
 #include "isa/instructions.hpp"
 #include "qecc/protocol.hpp"
+#include "sim/metrics.hpp"
 #include "sim/random.hpp"
 #include "tech/jj_memory.hpp"
 #include "tech/parameters.hpp"
@@ -166,6 +167,12 @@ class MicrocodeStore
     std::size_t _bits;
     std::size_t _wordBits;
     std::vector<std::uint8_t> _flipsPerWord;
+
+    // Constructor-bound registry counters (no function-local
+    // statics; they outlive registry resets).
+    sim::metrics::Counter &_mSeuFlips;
+    sim::metrics::Counter &_mRepairs;
+    sim::metrics::Counter &_mRepairBytes;
     std::size_t _flipped = 0;
     std::size_t _oddWords = 0;
 };

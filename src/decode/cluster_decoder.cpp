@@ -171,16 +171,7 @@ ClusterDecoder::decode(const DetectionEvents &events,
                        ClusterStats &stats) const
 {
     QUEST_TRACE_SCOPE("decode", "cluster_decode");
-    auto &registry = sim::metrics::Registry::global();
-    static auto &decodes = registry.counter(
-        "decode.cluster.decodes", "calls to ClusterDecoder::decode");
-    static auto &clusters = registry.counter(
-        "decode.cluster.clusters", "neutral clusters formed");
-    static auto &growth = registry.counter(
-        "decode.cluster.growth_steps", "cluster growth iterations");
-    static auto &cluster_size = registry.histogram(
-        "decode.cluster.size", "events per resolved cluster");
-    ++decodes;
+    ++_mDecodes;
 
     std::vector<std::uint8_t> xflip(_lattice->numQubits(), 0);
     std::vector<std::uint8_t> zflip(_lattice->numQubits(), 0);
@@ -189,10 +180,10 @@ ClusterDecoder::decode(const DetectionEvents &events,
     const std::size_t growth_before = stats.growthSteps;
     decodeType(events.zEvents, xflip, stats);
     decodeType(events.xEvents, zflip, stats);
-    clusters += stats.clusters - clusters_before;
-    growth += stats.growthSteps - growth_before;
+    _mClusters += stats.clusters - clusters_before;
+    _mGrowthSteps += stats.growthSteps - growth_before;
     if (stats.largestCluster > 0)
-        cluster_size.record(stats.largestCluster);
+        _mClusterSize.record(stats.largestCluster);
 
     Correction out;
     for (std::size_t q = 0; q < xflip.size(); ++q) {

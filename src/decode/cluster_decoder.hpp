@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mwpm_decoder.hpp"
+#include "sim/metrics.hpp"
 
 namespace quest::decode {
 
@@ -43,7 +44,17 @@ class ClusterDecoder
 {
   public:
     explicit ClusterDecoder(const qecc::Lattice &lattice)
-        : _lattice(&lattice), _matcher(lattice)
+        : _lattice(&lattice), _matcher(lattice),
+          _mDecodes(sim::metrics::Registry::global().counter(
+              "decode.cluster.decodes",
+              "calls to ClusterDecoder::decode")),
+          _mClusters(sim::metrics::Registry::global().counter(
+              "decode.cluster.clusters", "neutral clusters formed")),
+          _mGrowthSteps(sim::metrics::Registry::global().counter(
+              "decode.cluster.growth_steps",
+              "cluster growth iterations")),
+          _mClusterSize(sim::metrics::Registry::global().histogram(
+              "decode.cluster.size", "events per resolved cluster"))
     {}
 
     /** Forward a mask predicate to the boundary model. */
@@ -63,6 +74,13 @@ class ClusterDecoder
   private:
     const qecc::Lattice *_lattice;
     MwpmDecoder _matcher;
+
+    // Constructor-bound registry counters (no function-local
+    // statics; they outlive registry resets).
+    sim::metrics::Counter &_mDecodes;
+    sim::metrics::Counter &_mClusters;
+    sim::metrics::Counter &_mGrowthSteps;
+    sim::metrics::Histogram &_mClusterSize;
 
     /**
      * Cluster one stabilizer type's events and fold the resulting

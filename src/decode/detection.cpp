@@ -55,6 +55,15 @@ extractDetectionEventsBatch(
     const std::vector<qecc::BatchSyndromeRound> &history,
     const qecc::SyndromeExtractor &extractor)
 {
+    return extractDetectionEventsBatch(history, extractor, nullptr, 0);
+}
+
+std::vector<DetectionEvents>
+extractDetectionEventsBatch(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor,
+    const qecc::BatchSyndromeRound *baseline, std::size_t first_round)
+{
     constexpr std::size_t lanes = quantum::BatchPauliFrame::lanes;
     std::vector<DetectionEvents> out(lanes);
     const auto &x_anc = extractor.xAncillas();
@@ -66,7 +75,7 @@ extractDetectionEventsBatch(
                          && round.zFlips.size() == z_anc.size(),
                      "syndrome round %zu has inconsistent width", r);
         const qecc::BatchSyndromeRound *prev =
-            r == 0 ? nullptr : &history[r - 1];
+            r == 0 ? baseline : &history[r - 1];
         for (std::size_t i = 0; i < x_anc.size(); ++i) {
             std::uint64_t diff =
                 round.xFlips[i] ^ (prev ? prev->xFlips[i] : 0);
@@ -74,7 +83,7 @@ extractDetectionEventsBatch(
                 const int t = std::countr_zero(diff);
                 diff &= diff - 1;
                 out[std::size_t(t)].xEvents.push_back(DetectionEvent{
-                    r, x_anc[i], SiteType::XAncilla});
+                    first_round + r, x_anc[i], SiteType::XAncilla});
             }
         }
         for (std::size_t i = 0; i < z_anc.size(); ++i) {
@@ -84,7 +93,7 @@ extractDetectionEventsBatch(
                 const int t = std::countr_zero(diff);
                 diff &= diff - 1;
                 out[std::size_t(t)].zEvents.push_back(DetectionEvent{
-                    r, z_anc[i], SiteType::ZAncilla});
+                    first_round + r, z_anc[i], SiteType::ZAncilla});
             }
         }
     }
@@ -94,16 +103,25 @@ extractDetectionEventsBatch(
 void
 Correction::merge(const Correction &other)
 {
-    // XOR semantics: a qubit flipped twice is not flipped.
+    // XOR semantics: a qubit flipped twice is not flipped. Append,
+    // sort, and cancel equal pairs -- O((n+m)log(n+m)) against the
+    // old find+erase which was quadratic on every pipeline decode
+    // and every streaming commit. The result is canonical (sorted,
+    // duplicate-free), which also canonicalizes any repeated entries
+    // already present on either side, matching the parity semantics
+    // of the old implementation exactly.
     auto xor_into = [](std::vector<std::size_t> &dst,
                        const std::vector<std::size_t> &src) {
-        for (std::size_t q : src) {
-            auto it = std::find(dst.begin(), dst.end(), q);
-            if (it != dst.end())
-                dst.erase(it);
+        dst.insert(dst.end(), src.begin(), src.end());
+        std::sort(dst.begin(), dst.end());
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < dst.size();) {
+            if (r + 1 < dst.size() && dst[r] == dst[r + 1])
+                r += 2; // even multiplicity cancels
             else
-                dst.push_back(q);
+                dst[w++] = dst[r++];
         }
+        dst.resize(w);
     };
     xor_into(xFlips, other.xFlips);
     xor_into(zFlips, other.zFlips);

@@ -79,6 +79,18 @@ std::vector<DetectionEvents> extractDetectionEventsBatch(
     const qecc::SyndromeExtractor &extractor);
 
 /**
+ * As extractDetectionEventsBatch, but difference the first round
+ * against an explicit per-lane baseline (the last batched round of
+ * the previous decode window) and offset the reported round numbers
+ * by `first_round` -- lane-for-lane parity with
+ * extractDetectionEventsWindow.
+ */
+std::vector<DetectionEvents> extractDetectionEventsBatch(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor,
+    const qecc::BatchSyndromeRound *baseline, std::size_t first_round);
+
+/**
  * A correction: the set of data-qubit X flips and Z flips that, when
  * applied, should return the system to the code space.
  */

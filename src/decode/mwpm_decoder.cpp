@@ -141,7 +141,21 @@ exactDp(std::size_t n, std::vector<W> &f, const W *bweight,
 
 MwpmDecoder::MwpmDecoder(const qecc::Lattice &lattice,
                          std::size_t exact_limit)
-    : _lattice(&lattice), _exactLimit(exact_limit)
+    : _lattice(&lattice), _exactLimit(exact_limit),
+      _mExactMatchings(sim::metrics::Registry::global().counter(
+          "decode.mwpm.exact_matchings",
+          "event sets decoded by the exact bitmask DP")),
+      _mGreedyMatchings(sim::metrics::Registry::global().counter(
+          "decode.mwpm.greedy_matchings",
+          "event sets decoded by the greedy matcher")),
+      _mEventsMatched(sim::metrics::Registry::global().counter(
+          "decode.mwpm.events_matched",
+          "detection events fed into the matchers")),
+      _mMatchedWeight(sim::metrics::Registry::global().counter(
+          "decode.mwpm.matched_weight",
+          "total space-time weight of accepted matchings")),
+      _mDecodes(sim::metrics::Registry::global().counter(
+          "decode.mwpm.decodes", "calls to MwpmDecoder::decode"))
 {
     QUEST_ASSERT(exact_limit <= maxExactLimit,
                  "exact_limit %zu exceeds the bitmask DP cap %zu",
@@ -442,32 +456,20 @@ MwpmDecoder::matchEvents(const std::vector<DetectionEvent> &events) const
     // Cycle accounting: which matcher ran, over how many events and
     // at what matched weight. Integer counters only, so concurrent
     // decodes from the Monte-Carlo sweeps accumulate
-    // deterministically.
-    auto &registry = sim::metrics::Registry::global();
-    static auto &exact_calls = registry.counter(
-        "decode.mwpm.exact_matchings",
-        "event sets decoded by the exact bitmask DP");
-    static auto &greedy_calls = registry.counter(
-        "decode.mwpm.greedy_matchings",
-        "event sets decoded by the greedy matcher");
-    static auto &matched_events = registry.counter(
-        "decode.mwpm.events_matched",
-        "detection events fed into the matchers");
-    static auto &matched_weight = registry.counter(
-        "decode.mwpm.matched_weight",
-        "total space-time weight of accepted matchings");
-    matched_events += events.size();
+    // deterministically. Counters are constructor-bound members, not
+    // function-local statics (registry-lifetime hazard).
+    _mEventsMatched += events.size();
     MatchingResult mr;
     if (events.size() <= _exactLimit) {
         QUEST_TRACE_SCOPE("decode", "mwpm_exact");
-        ++exact_calls;
+        ++_mExactMatchings;
         mr = matchExact(events);
     } else {
         QUEST_TRACE_SCOPE("decode", "mwpm_greedy");
-        ++greedy_calls;
+        ++_mGreedyMatchings;
         mr = matchGreedy(events);
     }
-    matched_weight += mr.totalWeight;
+    _mMatchedWeight += mr.totalWeight;
     return mr;
 }
 
@@ -475,9 +477,7 @@ Correction
 MwpmDecoder::decode(const DetectionEvents &events) const
 {
     QUEST_TRACE_SCOPE("decode", "mwpm_decode");
-    static auto &decodes = sim::metrics::Registry::global().counter(
-        "decode.mwpm.decodes", "calls to MwpmDecoder::decode");
-    ++decodes;
+    ++_mDecodes;
     Correction out;
     Scratch &s = scratch();
 

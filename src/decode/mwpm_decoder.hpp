@@ -27,6 +27,7 @@
 
 #include "detection.hpp"
 #include "qecc/lattice.hpp"
+#include "sim/metrics.hpp"
 
 namespace quest::decode {
 
@@ -172,6 +173,14 @@ class MwpmDecoder
     std::vector<std::uint32_t> _spatial;
     std::vector<std::uint32_t> _edge;
     std::size_t _numAncilla = 0;
+
+    // Registry counters, bound once at construction rather than via
+    // function-local statics (which outlive registry resets).
+    sim::metrics::Counter &_mExactMatchings;
+    sim::metrics::Counter &_mGreedyMatchings;
+    sim::metrics::Counter &_mEventsMatched;
+    sim::metrics::Counter &_mMatchedWeight;
+    sim::metrics::Counter &_mDecodes;
 
     MatchingResult matchExact(
         const std::vector<DetectionEvent> &events) const;

@@ -99,7 +99,16 @@ class DecoderPipeline
               "events forwarded to the master controller")),
           _busBytes(_stats.scalar(
               "syndrome_bus_bytes",
-              "syndrome bytes sent over the global bus"))
+              "syndrome bytes sent over the global bus")),
+          _mEventsLocal(sim::metrics::Registry::global().counter(
+              "decode.pipeline.events_local",
+              "events resolved by the MCE-local LUT decoder")),
+          _mEventsGlobal(sim::metrics::Registry::global().counter(
+              "decode.pipeline.events_global",
+              "residual events escalated to the global decoder")),
+          _mBusBytes(sim::metrics::Registry::global().counter(
+              "decode.pipeline.syndrome_bus_bytes",
+              "syndrome bytes crossing the global bus"))
     {}
 
     /**
@@ -110,17 +119,6 @@ class DecoderPipeline
     decode(const DetectionEvents &events)
     {
         QUEST_TRACE_SCOPE("decode", "pipeline_decode");
-        auto &registry = sim::metrics::Registry::global();
-        static auto &events_local = registry.counter(
-            "decode.pipeline.events_local",
-            "events resolved by the MCE-local LUT decoder");
-        static auto &events_global = registry.counter(
-            "decode.pipeline.events_global",
-            "residual events escalated to the global decoder");
-        static auto &bus_bytes = registry.counter(
-            "decode.pipeline.syndrome_bus_bytes",
-            "syndrome bytes crossing the global bus");
-
         _eventsTotal += double(events.total());
 
         LocalDecodeResult local = _local.decodeLocal(events);
@@ -128,9 +126,9 @@ class DecoderPipeline
         _eventsGlobal += double(local.residual.total());
         _busBytes += double(local.residual.total()
                             * detectionEventBytes);
-        events_local += local.resolvedEvents;
-        events_global += local.residual.total();
-        bus_bytes += local.residual.total() * detectionEventBytes;
+        _mEventsLocal += local.resolvedEvents;
+        _mEventsGlobal += local.residual.total();
+        _mBusBytes += local.residual.total() * detectionEventBytes;
 
         Correction corr = local.correction;
         corr.merge(_global.decode(local.residual));
@@ -158,6 +156,15 @@ class DecoderPipeline
     sim::Scalar &_eventsLocal;
     sim::Scalar &_eventsGlobal;
     sim::Scalar &_busBytes;
+
+    // Registry counters are bound at construction, never in the hot
+    // path: a function-local `static auto &` binds once per process
+    // and silently keeps pointing at whatever entry existed at first
+    // call -- a lifetime hazard the registry-lifetime regression
+    // test guards against.
+    sim::metrics::Counter &_mEventsLocal;
+    sim::metrics::Counter &_mEventsGlobal;
+    sim::metrics::Counter &_mBusBytes;
 };
 
 } // namespace quest::decode

@@ -36,17 +36,6 @@ DeliveryReport
 DeliveryPath::deliverRounds(std::uint64_t rounds, sim::Rng &rng) const
 {
     QUEST_TRACE_SCOPE("host", "deliver_rounds");
-    auto &registry = sim::metrics::Registry::global();
-    static auto &rounds_delivered = registry.counter(
-        "host.delivery.rounds",
-        "instruction rounds pushed down the host channel");
-    static auto &late_rounds = registry.counter(
-        "host.delivery.late_rounds",
-        "rounds whose payload missed the round deadline");
-    static auto &stall_ticks = registry.counter(
-        "host.delivery.stall_ticks",
-        "total ticks the pipeline stalled past deadlines");
-
     DeliveryReport report;
     report.rounds = rounds;
     double stretch_sum = 0.0;
@@ -63,9 +52,9 @@ DeliveryPath::deliverRounds(std::uint64_t rounds, sim::Rng &rng) const
         }
     }
     report.meanStretch = stretch_sum / double(rounds);
-    rounds_delivered += report.rounds;
-    late_rounds += report.lateRounds;
-    stall_ticks += report.totalStall;
+    _mRounds += report.rounds;
+    _mLateRounds += report.lateRounds;
+    _mStallTicks += report.totalStall;
     return report;
 }
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 
+#include "sim/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/types.hpp"
 
@@ -78,7 +79,16 @@ class DeliveryPath
 {
   public:
     DeliveryPath(CacheConfig cache, DeliveryJob job)
-        : _cache(cache), _job(job)
+        : _cache(cache), _job(job),
+          _mRounds(sim::metrics::Registry::global().counter(
+              "host.delivery.rounds",
+              "instruction rounds pushed down the host channel")),
+          _mLateRounds(sim::metrics::Registry::global().counter(
+              "host.delivery.late_rounds",
+              "rounds whose payload missed the round deadline")),
+          _mStallTicks(sim::metrics::Registry::global().counter(
+              "host.delivery.stall_ticks",
+              "total ticks the pipeline stalled past deadlines"))
     {}
 
     const CacheConfig &cache() const { return _cache; }
@@ -105,6 +115,12 @@ class DeliveryPath
   private:
     CacheConfig _cache;
     DeliveryJob _job;
+
+    // Constructor-bound registry counters (no function-local
+    // statics; they outlive registry resets).
+    sim::metrics::Counter &_mRounds;
+    sim::metrics::Counter &_mLateRounds;
+    sim::metrics::Counter &_mStallTicks;
 };
 
 /**

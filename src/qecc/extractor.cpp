@@ -46,7 +46,19 @@ BatchSyndromeRound::lane(std::size_t lane) const
 }
 
 SyndromeExtractor::SyndromeExtractor(const RoundSchedule &schedule)
-    : _schedule(&schedule)
+    : _schedule(&schedule),
+      _mBatchRounds(sim::metrics::Registry::global().counter(
+          "qecc.batch.rounds", "batched syndrome extraction rounds")),
+      _mBatchLaneRounds(sim::metrics::Registry::global().counter(
+          "qecc.batch.lane_rounds",
+          "per-trial rounds covered by batched execution "
+          "(rounds x 64)")),
+      _mBatchWordUops(sim::metrics::Registry::global().counter(
+          "qecc.batch.word_uops",
+          "word-wide frame micro-ops retired by batched rounds")),
+      _mBatchFillBits(sim::metrics::Registry::global().counter(
+          "qecc.batch.fill_bits",
+          "set error-plane bits observed at batched round boundaries"))
 {
     const Lattice &lat = schedule.lattice();
     _xAncillas = lat.sites(SiteType::XAncilla);
@@ -240,22 +252,12 @@ SyndromeExtractor::runRoundBatch(BatchPauliFrame &frame,
     // ran, how many lane-trials they covered, how many word-wide
     // micro-ops were retired and how full the error planes are
     // (integer counters only — deterministic across thread counts).
-    auto &registry = sim::metrics::Registry::global();
-    static auto &rounds = registry.counter(
-        "qecc.batch.rounds", "batched syndrome extraction rounds");
-    static auto &lane_rounds = registry.counter(
-        "qecc.batch.lane_rounds",
-        "per-trial rounds covered by batched execution (rounds x 64)");
-    static auto &word_uops = registry.counter(
-        "qecc.batch.word_uops",
-        "word-wide frame micro-ops retired by batched rounds");
-    static auto &fill_bits = registry.counter(
-        "qecc.batch.fill_bits",
-        "set error-plane bits observed at batched round boundaries");
-    ++rounds;
-    lane_rounds += BatchPauliFrame::lanes;
-    word_uops += _program.size() + _dataIndices.size();
-    fill_bits += frame.totalErrorBits();
+    // Counters are constructor-bound members, not function-local
+    // statics, so registry resets cannot strand them.
+    ++_mBatchRounds;
+    _mBatchLaneRounds += BatchPauliFrame::lanes;
+    _mBatchWordUops += _program.size() + _dataIndices.size();
+    _mBatchFillBits += frame.totalErrorBits();
 
     return out;
 }
@@ -281,6 +283,18 @@ SyndromeExtractor::runRounds(PauliFrame &frame, ErrorChannel *channel,
     for (std::size_t r = 0; r < rounds; ++r)
         history.push_back(runRound(frame, channel));
     return history;
+}
+
+void
+SyndromeExtractor::runRoundsStreaming(
+    PauliFrame &frame, ErrorChannel *channel, std::size_t rounds,
+    const std::function<void(const SyndromeRound &)> &sink) const
+{
+    SyndromeRound scratch;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        scratch = runRound(frame, channel);
+        sink(scratch);
+    }
 }
 
 SyndromeRound

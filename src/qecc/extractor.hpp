@@ -26,12 +26,14 @@
 #define QUEST_QECC_EXTRACTOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "quantum/error_model.hpp"
 #include "quantum/pauli_frame.hpp"
 #include "quantum/tableau.hpp"
 #include "schedule.hpp"
+#include "sim/metrics.hpp"
 
 namespace quest::qecc {
 
@@ -95,6 +97,20 @@ class SyndromeExtractor
               std::size_t rounds) const;
 
     /**
+     * Execute `rounds` rounds, handing each round to `sink` as soon
+     * as it is extracted instead of accumulating a history vector --
+     * the round hand-off for streaming decoders, which must see
+     * syndromes without an end-of-shot barrier. The round passed to
+     * the sink is a scratch value that is reused; copy it if it must
+     * outlive the callback.
+     */
+    void
+    runRoundsStreaming(
+        quantum::PauliFrame &frame, quantum::ErrorChannel *channel,
+        std::size_t rounds,
+        const std::function<void(const SyndromeRound &)> &sink) const;
+
+    /**
      * Execute one round on 64 trials at once. The per-lane noise
      * draw order matches runRound exactly (see BatchErrorChannel),
      * so lane t reproduces a scalar run seeded with trial t's
@@ -145,6 +161,13 @@ class SyndromeExtractor
     /** Qubit index -> slot in the xFlips/zFlips vector (-1: none). */
     std::vector<int> _syndromeSlot;
     std::vector<RoundOp> _program;
+
+    // Batch-engine registry counters, bound once at construction
+    // (never function-local statics -- registry-lifetime hazard).
+    sim::metrics::Counter &_mBatchRounds;
+    sim::metrics::Counter &_mBatchLaneRounds;
+    sim::metrics::Counter &_mBatchWordUops;
+    sim::metrics::Counter &_mBatchFillBits;
 };
 
 /**

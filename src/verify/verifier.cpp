@@ -8,6 +8,17 @@
 namespace quest::verify {
 
 Verifier::Verifier()
+    : _mRuns(sim::metrics::Registry::global().counter(
+          "verify.runs", "static verification runs executed")),
+      _mPasses(sim::metrics::Registry::global().counter(
+          "verify.passes", "verification passes executed")),
+      _mDiagnostics(sim::metrics::Registry::global().counter(
+          "verify.diagnostics", "verification findings emitted")),
+      _mErrors(sim::metrics::Registry::global().counter(
+          "verify.errors", "error-severity verification findings")),
+      _mFailedRuns(sim::metrics::Registry::global().counter(
+          "verify.failed_runs",
+          "verification runs with at least one error"))
 {
     _passes.push_back(makeEquivalencePass());
     _passes.push_back(makeBudgetPass());
@@ -26,29 +37,17 @@ Report
 Verifier::run(const TileArtifacts &artifacts) const
 {
     QUEST_TRACE_SCOPE("verify", "run");
-    auto &registry = sim::metrics::Registry::global();
-    static auto &runs = registry.counter(
-        "verify.runs", "static verification runs executed");
-    static auto &passes = registry.counter(
-        "verify.passes", "verification passes executed");
-    static auto &diagnostics = registry.counter(
-        "verify.diagnostics", "verification findings emitted");
-    static auto &errors = registry.counter(
-        "verify.errors", "error-severity verification findings");
-    static auto &failed_runs = registry.counter(
-        "verify.failed_runs",
-        "verification runs with at least one error");
 
     Report report;
     for (const auto &pass : _passes) {
         pass->run(artifacts, report);
-        ++passes;
+        ++_mPasses;
     }
-    ++runs;
-    diagnostics += report.diagnostics().size();
-    errors += report.errorCount();
+    ++_mRuns;
+    _mDiagnostics += report.diagnostics().size();
+    _mErrors += report.errorCount();
     if (!report.ok())
-        ++failed_runs;
+        ++_mFailedRuns;
     return report;
 }
 
@@ -112,11 +111,11 @@ preflightGate(const core::Mce &mce)
 
     const Report report = Verifier().run(a);
     if (!report.ok()) {
-        static auto &rejections =
-            sim::metrics::Registry::global().counter(
-                "verify.preflight_rejections",
-                "tiles rejected by the verify-on-load gate");
-        ++rejections;
+        // Cold path (aborts the load): a per-call registry lookup is
+        // fine and avoids the static-binding lifetime hazard.
+        ++sim::metrics::Registry::global().counter(
+            "verify.preflight_rejections",
+            "tiles rejected by the verify-on-load gate");
         sim::fatal("%s: pre-flight verification failed\n%s",
                    mce.name().c_str(), report.toString().c_str());
     }

@@ -43,6 +43,7 @@
 #include "isa/trace.hpp"
 #include "program.hpp"
 #include "qecc/logical_mask.hpp"
+#include "sim/metrics.hpp"
 #include "tech/jj_memory.hpp"
 
 namespace quest::verify {
@@ -118,6 +119,14 @@ class Verifier
 
   private:
     std::vector<std::unique_ptr<Pass>> _passes;
+
+    // Constructor-bound registry counters (no function-local
+    // statics; they outlive registry resets).
+    sim::metrics::Counter &_mRuns;
+    sim::metrics::Counter &_mPasses;
+    sim::metrics::Counter &_mDiagnostics;
+    sim::metrics::Counter &_mErrors;
+    sim::metrics::Counter &_mFailedRuns;
 };
 
 /**

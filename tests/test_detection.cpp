@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "decode/detection.hpp"
+#include "quantum/batch_pauli_frame.hpp"
+#include "quantum/error_model.hpp"
 
 namespace {
 
@@ -112,6 +117,121 @@ TEST(Correction, MergeIsXor)
     std::sort(a.xFlips.begin(), a.xFlips.end());
     EXPECT_EQ(a.xFlips, (std::vector<std::size_t>{1, 3}));
     EXPECT_TRUE(a.zFlips.empty());
+}
+
+/**
+ * The pre-rewrite find+erase merge: for each incoming flip, cancel
+ * one matching entry if present, otherwise append. The sort-and-
+ * cancel rewrite must stay parity-equivalent to this reference.
+ */
+void
+referenceMergeInto(std::vector<std::size_t> &dst,
+                   const std::vector<std::size_t> &src)
+{
+    for (const std::size_t q : src) {
+        const auto it = std::find(dst.begin(), dst.end(), q);
+        if (it != dst.end())
+            dst.erase(it);
+        else
+            dst.push_back(q);
+    }
+}
+
+TEST(Correction, MergeMatchesFindEraseReferenceDifferentially)
+{
+    // Deterministic pseudo-random flip lists, including repeated
+    // entries (an even-multiplicity repeat cancels in both
+    // implementations).
+    std::uint64_t state = 0x2545F4914F6CDD1Dull;
+    const auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int trial = 0; trial < 200; ++trial) {
+        Correction a, b;
+        const std::size_t na = next() % 12;
+        for (std::size_t i = 0; i < na; ++i)
+            a.xFlips.push_back(next() % 16);
+        const std::size_t nb = next() % 12;
+        for (std::size_t i = 0; i < nb; ++i)
+            b.xFlips.push_back(next() % 16);
+
+        std::vector<std::size_t> reference = a.xFlips;
+        referenceMergeInto(reference, b.xFlips);
+
+        a.merge(b);
+        // The rewrite canonicalizes (sorted, duplicate-free); the
+        // reference preserved insertion order and could keep
+        // even-multiplicity duplicates from dst. Parity per qubit is
+        // the observable -- applyCorrection XORs.
+        std::sort(reference.begin(), reference.end());
+        std::vector<std::size_t> ref_parity;
+        for (std::size_t i = 0; i < reference.size();) {
+            std::size_t j = i;
+            while (j < reference.size()
+                   && reference[j] == reference[i])
+                ++j;
+            if ((j - i) % 2)
+                ref_parity.push_back(reference[i]);
+            i = j;
+        }
+        EXPECT_EQ(a.xFlips, ref_parity) << "trial " << trial;
+        EXPECT_TRUE(std::is_sorted(a.xFlips.begin(),
+                                   a.xFlips.end()));
+        EXPECT_EQ(std::adjacent_find(a.xFlips.begin(),
+                                     a.xFlips.end()),
+                  a.xFlips.end());
+    }
+}
+
+TEST_F(DetectionTest, BatchWindowMatchesScalarWindowPerLane)
+{
+    // Two window segments with a carried baseline: the batch
+    // extraction must agree with the scalar window API lane for
+    // lane, including the baseline differencing and the round
+    // offset the batch path used to drop.
+    quest::quantum::BatchPauliFrame frame(lattice.numQubits());
+    quest::quantum::BatchErrorChannel channel(
+        quest::quantum::ErrorRates{5e-3, 0, 0, 0, 5e-3}, 0xB17, 0);
+    const auto history =
+        extractor.runRoundsBatch(frame, &channel, 6);
+
+    const std::vector<BatchSyndromeRound> first(history.begin(),
+                                                history.begin() + 3);
+    const std::vector<BatchSyndromeRound> second(history.begin() + 3,
+                                                 history.end());
+
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+        std::vector<SyndromeRound> lane_first, lane_second;
+        for (const auto &r : first)
+            lane_first.push_back(r.lane(lane));
+        for (const auto &r : second)
+            lane_second.push_back(r.lane(lane));
+
+        const DetectionEvents s1 = extractDetectionEventsWindow(
+            lane_first, extractor, nullptr, 0);
+        const SyndromeRound baseline = first.back().lane(lane);
+        const DetectionEvents s2 = extractDetectionEventsWindow(
+            lane_second, extractor, &baseline, 3);
+
+        const auto b1 =
+            extractDetectionEventsBatch(first, extractor, nullptr, 0);
+        const auto b2 = extractDetectionEventsBatch(
+            second, extractor, &first.back(), 3);
+
+        EXPECT_EQ(b1[lane].xEvents, s1.xEvents) << "lane " << lane;
+        EXPECT_EQ(b1[lane].zEvents, s1.zEvents) << "lane " << lane;
+        EXPECT_EQ(b2[lane].xEvents, s2.xEvents) << "lane " << lane;
+        EXPECT_EQ(b2[lane].zEvents, s2.zEvents) << "lane " << lane;
+        // The second segment's events carry the absolute round --
+        // the hardcoded `round = r` bug would report 0-based rounds.
+        for (const auto &e : b2[lane].xEvents)
+            EXPECT_GE(e.round, 3u);
+        for (const auto &e : b2[lane].zEvents)
+            EXPECT_GE(e.round, 3u);
+    }
 }
 
 TEST(Correction, ApplyInjectsIntoFrame)

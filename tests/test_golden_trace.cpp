@@ -21,6 +21,7 @@
 #include "core/system.hpp"
 #include "decode/detection.hpp"
 #include "decode/mwpm_decoder.hpp"
+#include "decode/streaming.hpp"
 #include "qecc/extractor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
@@ -112,6 +113,28 @@ runGolden(std::size_t threads)
                 decoder.decode(lane);
         });
 
+        // Phase 4: streaming sliding-window decode sweep on the
+        // pool. Each trial owns a StreamingDecoder fed from
+        // Rng::substream(seed, trial), so the decode.stream.*
+        // counters and the lag histogram are a pure function of the
+        // trial set regardless of scheduling.
+        const decode::StreamConfig stream_cfg{ 4, 2, {} };
+        sim::parallelFor(pool, goldenTrials, [&](std::uint64_t i) {
+            sim::Rng rng = sim::Rng::substream(goldenSeed + 1, i);
+            quantum::ErrorChannel channel(
+                quantum::ErrorRates{3e-3, 0, 0, 0, 3e-3}, rng);
+            quantum::PauliFrame frame(lattice.numQubits());
+            decode::StreamingDecoder streamer(extractor,
+                                              stream_cfg);
+            extractor.runRoundsStreaming(
+                frame, &channel, goldenDistance,
+                [&](const qecc::SyndromeRound &round) {
+                    streamer.pushRound(round);
+                });
+            streamer.pushRound(extractor.runRound(frame, nullptr));
+            streamer.finish();
+        });
+
         // Snapshot while the master's stat tree is still attached.
         out.snapshot = sim::metricsSnapshot();
         out.digest = tracer.countDigest();
@@ -135,6 +158,15 @@ TEST(GoldenTrace, WorkloadProducesObservableActivity)
     // Batched engine accounting: 2 batches x (d noisy + 1 quiet)
     // rounds must be witnessed exactly.
     EXPECT_NE(r.snapshot.find("qecc.batch.rounds 12"),
+              std::string::npos)
+        << r.snapshot;
+    // Streaming sweep accounting: 32 trials x (d noisy + 1 quiet)
+    // pushed rounds, and 3 windows per trial (two full 4-round
+    // windows plus the flush) must be witnessed exactly.
+    EXPECT_NE(r.snapshot.find("decode.stream.rounds 192"),
+              std::string::npos)
+        << r.snapshot;
+    EXPECT_NE(r.snapshot.find("decode.stream.windows 96"),
               std::string::npos)
         << r.snapshot;
     if (sim::traceCompiledIn())

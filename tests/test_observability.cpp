@@ -11,6 +11,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "decode/pipeline.hpp"
+#include "decode/streaming.hpp"
+#include "qecc/extractor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/stats.hpp"
@@ -347,6 +350,42 @@ TEST(EventQueueAttribution, GlobalCountersTrackScheduling)
 
     EXPECT_EQ(scheduled.value() - sched0, 5u);
     EXPECT_EQ(executed.value() - exec0, 5u);
+}
+
+TEST(MetricsRegistry, DecoderCountersRegisterAtConstruction)
+{
+    // Regression guard for the function-local `static auto &`
+    // pattern the decoder hot paths used to carry: metrics must be
+    // registered when the component is constructed (so snapshots are
+    // deterministic regardless of whether a decode ever ran), and
+    // the member-bound references must keep writing into the live
+    // registry entries across a Registry::reset().
+    auto &reg = Registry::global();
+    const quest::qecc::Lattice lattice =
+        quest::qecc::Lattice::forDistance(3);
+    const auto schedule = quest::qecc::buildRoundSchedule(
+        lattice,
+        quest::qecc::protocolSpec(quest::qecc::Protocol::Steane));
+    const quest::qecc::SyndromeExtractor extractor(schedule);
+
+    quest::decode::DecoderPipeline pipeline(lattice);
+    quest::decode::StreamingDecoder streamer(extractor);
+
+    // Registered before any decode ran.
+    const std::string snap = reg.snapshot();
+    EXPECT_NE(snap.find("decode.pipeline.events_local"),
+              std::string::npos);
+    EXPECT_NE(snap.find("decode.mwpm.decodes"), std::string::npos);
+    EXPECT_NE(snap.find("decode.stream.rounds"), std::string::npos);
+
+    auto &rounds = reg.counter(
+        "decode.stream.rounds",
+        "syndrome rounds pushed into streaming decoders");
+    rounds.reset();
+    const std::uint64_t before = rounds.value();
+    quest::quantum::PauliFrame frame(lattice.numQubits());
+    streamer.pushRound(extractor.runRound(frame, nullptr));
+    EXPECT_EQ(rounds.value() - before, 1u);
 }
 
 } // namespace

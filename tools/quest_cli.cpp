@@ -24,6 +24,7 @@
  * Run `quest <subcommand> --help` for the flags of each.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,7 @@
 
 #include "core/system.hpp"
 #include "decode/pipeline.hpp"
+#include "decode/streaming.hpp"
 #include "fleet/manager.hpp"
 #include "fleet/worker.hpp"
 #include "isa/trace.hpp"
@@ -298,6 +300,20 @@ cmdSimulate(const Options &opts)
     const auto d = std::size_t(opts.getInt("distance", 5));
     const double p = opts.getDouble("error-rate", 1e-3);
     const int trials = int(opts.getInt("trials", 2000));
+    // --stream-window N decodes each shot through the streaming
+    // sliding-window decoder instead of the offline pipeline;
+    // --stream-stride M sets the commit distance (default N/2).
+    const auto stream_window =
+        std::size_t(opts.getInt("stream-window", 0));
+    decode::StreamConfig stream_cfg;
+    if (stream_window) {
+        stream_cfg.windowRounds = stream_window;
+        stream_cfg.strideRounds =
+            std::size_t(opts.getInt("stream-stride", 0));
+        if (stream_cfg.strideRounds == 0)
+            stream_cfg.strideRounds =
+                std::max<std::size_t>(1, stream_window / 2);
+    }
 
     const qecc::Lattice lattice = qecc::Lattice::forDistance(d);
     const auto schedule = qecc::buildRoundSchedule(
@@ -314,9 +330,22 @@ cmdSimulate(const Options &opts)
             quantum::ErrorRates{p, 0, 0, 0, p}, rng);
         auto history = extractor.runRounds(frame, &channel, d);
         history.push_back(extractor.runRound(frame, nullptr));
-        const auto events =
-            decode::extractDetectionEvents(history, extractor);
-        decode::applyCorrection(frame, pipeline.decode(events));
+        decode::Correction corr;
+        if (stream_window) {
+            // One streamer per shot: rounds are pushed as extracted
+            // and the committed corrections accumulate.
+            decode::StreamingDecoder streamer(extractor, stream_cfg);
+            for (const auto &round : history)
+                if (auto commit = streamer.pushRound(round))
+                    corr.merge(commit->correction);
+            if (auto commit = streamer.finish())
+                corr.merge(commit->correction);
+        } else {
+            const auto events =
+                decode::extractDetectionEvents(history, extractor);
+            corr = pipeline.decode(events);
+        }
+        decode::applyCorrection(frame, corr);
 
         bool failed = extractor.runRound(frame, nullptr).any();
         if (!failed) {
@@ -328,6 +357,21 @@ cmdSimulate(const Options &opts)
             failed = (x % 2) || (z % 2);
         }
         failures += failed ? 1 : 0;
+    }
+    if (stream_window) {
+        const auto &lag =
+            sim::metrics::Registry::global().histogram(
+                "decode.stream.lag_rounds",
+                "rounds decoding ran behind extraction, per pushed "
+                "round");
+        std::printf(
+            "d=%zu p=%g trials=%d window=%zu stride=%zu "
+            "logical_error_rate=%.3e lag_p50=%.0f lag_p99=%.0f\n",
+            d, p, trials, stream_cfg.windowRounds,
+            stream_cfg.strideRounds,
+            double(failures) / double(trials), lag.percentile(0.5),
+            lag.percentile(0.99));
+        return 0;
     }
     std::printf("d=%zu p=%g trials=%d logical_error_rate=%.3e "
                 "lut_coverage=%.1f%%\n",
@@ -620,6 +664,7 @@ usage()
         "             [--faults-report] [--verify-on-load]\n"
         "  simulate   [--distance D] [--error-rate P] [--trials N]\n"
         "             [--protocol S] [--seed S]\n"
+        "             [--stream-window N [--stream-stride M]]\n"
         "  verify     [--protocol S] [--design D] [--distance D]\n"
         "             [--tech T] [--channels N] [--bank-bits N]\n"
         "             [--trace FILE] [--epsilon E] [--json FILE]\n"
