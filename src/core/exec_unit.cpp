@@ -27,6 +27,15 @@ QuantumExecutionUnit::latch(std::size_t q, isa::PhysOpcode op)
     ++_latches;
 }
 
+void
+QuantumExecutionUnit::release(std::size_t q)
+{
+    QUEST_ASSERT(q < _latched.size(),
+                 "release target %zu beyond switch array size %zu",
+                 q, _latched.size());
+    _latched[q] = isa::PhysOpcode::Nop;
+}
+
 const std::vector<isa::PhysOpcode> &
 QuantumExecutionUnit::masterClock()
 {

@@ -1,0 +1,95 @@
+#include "issue_queue.hpp"
+
+#include "sim/logging.hpp"
+
+namespace quest::core {
+
+std::size_t
+uopLatencyCycles(isa::PhysOpcode op)
+{
+    using isa::PhysOpcode;
+    switch (op) {
+      case PhysOpcode::MeasZ:
+      case PhysOpcode::MeasX:
+        return 4;
+      case PhysOpcode::CnotN:
+      case PhysOpcode::CnotE:
+      case PhysOpcode::CnotS:
+      case PhysOpcode::CnotW:
+      case PhysOpcode::CnotTargetN:
+      case PhysOpcode::CnotTargetE:
+      case PhysOpcode::CnotTargetS:
+      case PhysOpcode::CnotTargetW:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+Scoreboard::Scoreboard(std::size_t num_uops) : _entries(num_uops) {}
+
+void
+Scoreboard::addProducer(std::uint32_t uop, std::uint32_t producer)
+{
+    QUEST_ASSERT(uop < _entries.size() && producer < _entries.size(),
+                 "scoreboard edge %u <- %u beyond %zu uops", uop,
+                 producer, _entries.size());
+    QUEST_ASSERT(producer < uop,
+                 "producer %u does not precede uop %u in program "
+                 "order",
+                 producer, uop);
+    _entries[uop].producers.push_back(producer);
+}
+
+std::uint64_t
+Scoreboard::completion(std::uint32_t uop) const
+{
+    const Entry &e = _entries.at(uop);
+    QUEST_ASSERT(e.issued, "uop %u has not issued", uop);
+    return e.completes;
+}
+
+bool
+Scoreboard::ready(std::uint32_t uop, std::uint64_t cycle) const
+{
+    for (const std::uint32_t p : _entries.at(uop).producers) {
+        const Entry &prod = _entries[p];
+        if (!prod.issued || prod.completes > cycle)
+            return false;
+    }
+    return true;
+}
+
+void
+Scoreboard::markIssued(std::uint32_t uop, std::uint64_t completes)
+{
+    Entry &e = _entries.at(uop);
+    QUEST_ASSERT(!e.issued, "uop %u issued twice", uop);
+    e.issued = true;
+    e.completes = completes;
+}
+
+IssueQueue::IssueQueue(std::size_t capacity) : _capacity(capacity)
+{
+    QUEST_ASSERT(capacity > 0, "issue queue needs capacity");
+}
+
+void
+IssueQueue::push(std::uint32_t uop)
+{
+    QUEST_ASSERT(!full(), "issue queue overflow (capacity %zu)",
+                 _capacity);
+    _entries.push_back(uop);
+}
+
+void
+IssueQueue::erase(std::size_t position)
+{
+    QUEST_ASSERT(position < _entries.size(),
+                 "issue queue erase at %zu beyond size %zu", position,
+                 _entries.size());
+    _entries.erase(_entries.begin()
+                   + std::ptrdiff_t(position));
+}
+
+} // namespace quest::core

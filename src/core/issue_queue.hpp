@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Issue queue and scoreboard for the dynamically scheduled MCE.
+ *
+ * The in-order microcode pipeline latches one uop per qubit per
+ * sub-cycle and fires the master clock as a barrier: every sub-cycle
+ * waits for the slowest waveform of the previous one (measurement is
+ * 4 JJ cycles; a fetch-bound sub-cycle also rounds up to a whole
+ * fetch burst). Out-of-order issue replaces the barrier with
+ * dataflow: decoded uops enter a bounded issue queue, a scoreboard
+ * tracks per-uop producer edges (the qubit touch chains computed by
+ * verify::DependencyOracle), and each cycle the oldest ready uops
+ * issue up to the issue width. The queue is the structural resource:
+ * when it fills, decode stalls and fetch backs up into the shared
+ * JJ-memory bandwidth — which is exactly the contention the
+ * multi-tile arbiter models.
+ */
+
+#ifndef QUEST_CORE_ISSUE_QUEUE_HPP
+#define QUEST_CORE_ISSUE_QUEUE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+
+namespace quest::core {
+
+/**
+ * Modeled JJ-clock latency of one issued uop's waveform: how many
+ * cycles after issue its operand qubits become available to a
+ * dependent uop. Single-qubit gates and preparations play in one
+ * cycle, the two-qubit interaction in two, measurement — the long
+ * pole the in-order barrier convoys behind — in four.
+ */
+std::size_t uopLatencyCycles(isa::PhysOpcode op);
+
+/** Per-uop dependency and completion tracking. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(std::size_t num_uops);
+
+    std::size_t numUops() const { return _entries.size(); }
+
+    /** Record that `uop` must wait for `producer` to complete. */
+    void addProducer(std::uint32_t uop, std::uint32_t producer);
+
+    const std::vector<std::uint32_t> &
+    producers(std::uint32_t uop) const
+    {
+        return _entries.at(uop).producers;
+    }
+
+    bool issued(std::uint32_t uop) const
+    {
+        return _entries.at(uop).issued;
+    }
+
+    /** Cycle at which an issued uop's result is available. */
+    std::uint64_t completion(std::uint32_t uop) const;
+
+    /** True when every producer of `uop` has completed by `cycle`
+     *  (i.e. the uop may issue at `cycle`). */
+    bool ready(std::uint32_t uop, std::uint64_t cycle) const;
+
+    /** Mark `uop` issued, its result available at `completes`. */
+    void markIssued(std::uint32_t uop, std::uint64_t completes);
+
+  private:
+    struct Entry
+    {
+        std::vector<std::uint32_t> producers;
+        std::uint64_t completes = 0;
+        bool issued = false;
+    };
+    std::vector<Entry> _entries;
+};
+
+/** Bounded FIFO of decoded, not-yet-issued uops (seq ids). Entries
+ *  stay in decode order, so an oldest-first scan is a front-to-back
+ *  walk. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(std::size_t capacity);
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /** Enqueue a decoded uop; the queue must not be full. */
+    void push(std::uint32_t uop);
+
+    /** Entries in decode (age) order, oldest first. */
+    const std::deque<std::uint32_t> &entries() const
+    {
+        return _entries;
+    }
+
+    /** Remove the entry at `position` (an index into entries()). */
+    void erase(std::size_t position);
+
+  private:
+    std::size_t _capacity;
+    std::deque<std::uint32_t> _entries;
+};
+
+} // namespace quest::core
+
+#endif // QUEST_CORE_ISSUE_QUEUE_HPP

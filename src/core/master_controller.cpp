@@ -5,6 +5,7 @@
 #include "sim/logging.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
+#include "tech/jj_memory.hpp"
 #include "tech/parameters.hpp"
 
 namespace quest::core {
@@ -117,6 +118,22 @@ MasterController::MasterController(const MasterConfig &cfg)
 {
     QUEST_ASSERT(cfg.numMces > 0, "need at least one MCE");
     _network.attachFaults(&_faults);
+    if (cfg.sharedFetchBandwidth > 0) {
+        _arbiter = std::make_unique<DynamicScheduler>(cfg.mce.sched);
+        auto &reg = sim::metrics::Registry::global();
+        for (std::size_t i = 0; i < cfg.numMces; ++i) {
+            const std::string tile =
+                "sched.tile" + std::to_string(i);
+            _mTileBwWait.push_back(&reg.counter(
+                tile + ".bw_wait_cycles",
+                "cycles this tile demanded fetch slots the arbiter "
+                "granted elsewhere"));
+            _mTileSlack.push_back(&reg.gauge(
+                tile + ".slack",
+                "replay bandwidth headroom under the tile's granted "
+                "share (available/required - 1)"));
+        }
+    }
     for (std::size_t i = 0; i < cfg.numMces; ++i) {
         MceConfig mc = cfg.mce;
         mc.seed = cfg.mce.seed + i * 0x9E37u;
@@ -322,6 +339,70 @@ MasterController::injectRoundFaults()
     }
 }
 
+const ArbitrationResult &
+MasterController::lastArbitration() const
+{
+    QUEST_ASSERT(_arbValid,
+                 "no arbitration has run (sharedFetchBandwidth off "
+                 "or no rounds stepped)");
+    return _lastArbitration;
+}
+
+void
+MasterController::arbitrateRound()
+{
+    QUEST_TRACE_SCOPE("master", "arbitrate");
+    // Fresh oracles each round: mask changes and quarantines reshape
+    // the per-tile programs, and a wedged engine demands nothing.
+    std::vector<const verify::DependencyOracle *> oracles;
+    std::vector<std::uint8_t> active;
+    oracles.reserve(_mces.size());
+    active.reserve(_mces.size());
+    for (const auto &m : _mces) {
+        oracles.push_back(&m->dependencyOracle());
+        active.push_back(m->hung() ? 0 : 1);
+    }
+    _lastArbitration = _arbiter->arbitrate(
+        oracles, active, _cfg.mce.scheduling,
+        _cfg.sharedFetchBandwidth, _cfg.arbiterPolicy, 1);
+    _arbValid = true;
+
+    // Per-tile contention export: bandwidth-wait cycles, plus the
+    // budget-pass slack math scaled by the share of fetch slots the
+    // arbiter actually granted this tile.
+    std::size_t total_slots = 0;
+    for (const TileSchedule &t : _lastArbitration.tiles)
+        total_slots += t.slotsFetched;
+    const tech::JJMemoryModel mem;
+    for (std::size_t i = 0; i < _mces.size(); ++i) {
+        const TileSchedule &t = _lastArbitration.tiles[i];
+        *_mTileBwWait[i] += t.stalls.bandwidthWait;
+        if (!active[i] || total_slots == 0)
+            continue;
+        const Mce &m = *_mces[i];
+        const auto &spec =
+            qecc::protocolSpec(m.config().protocol);
+        const std::size_t uop_bits =
+            m.config().microcodeDesign == MicrocodeDesign::Ram
+            ? isa::ramUopBits(spec.opcodeCount,
+                              m.lattice().numQubits())
+            : isa::fifoUopBits(spec.opcodeCount);
+        const double round_seconds =
+            sim::ticksToSeconds(spec.roundDuration(
+                tech::gateLatencies(m.config().technology)));
+        const double required =
+            double(m.lattice().numQubits())
+            * double(spec.uopsPerQubit);
+        const double share =
+            double(t.slotsFetched) / double(total_slots);
+        const double available =
+            mem.uopsPerSecond(m.config().memoryConfig, uop_bits)
+            * round_seconds * share;
+        _mTileSlack[i]->set(
+            required > 0 ? available / required - 1.0 : 0.0);
+    }
+}
+
 void
 MasterController::stepRound()
 {
@@ -339,6 +420,8 @@ MasterController::stepRound()
                 commitStream(i, *commit);
         }
     }
+    if (arbitrating())
+        arbitrateRound();
     ++_roundsRun;
     ++_roundsSinceDecode;
     if (_cfg.heartbeatIntervalRounds

@@ -86,6 +86,24 @@ struct MasterConfig
      *  for the late window (host::delivery's inflation model). */
     bool modelDecodeDeadline = false;
     ///@}
+
+    /** @name Multi-tile fetch arbitration.
+     *  When sharedFetchBandwidth is nonzero, every stepRound() also
+     *  runs the cycle-level arbiter: all live tiles' replay
+     *  pipelines contend for that many shared JJ-memory fetch slots
+     *  per cycle, producing per-tile bandwidth-wait counters and
+     *  slack gauges. Purely observational — the functional replay is
+     *  untouched — and off by default (0), keeping the golden traces
+     *  bit-identical. */
+    ///@{
+
+    /** Shared fetch slots per cycle across all tiles (0 disables
+     *  arbitration). */
+    std::size_t sharedFetchBandwidth = 0;
+
+    /** Grant policy when tiles contend. */
+    ArbiterPolicy arbiterPolicy = ArbiterPolicy::RoundRobin;
+    ///@}
 };
 
 /** Bytes on the bus per forwarded correction entry. */
@@ -175,6 +193,16 @@ class MasterController
     {
         return *_streamers.at(i);
     }
+
+    /** True when the shared-bandwidth arbiter runs each round. */
+    bool arbitrating() const
+    {
+        return _cfg.sharedFetchBandwidth > 0;
+    }
+
+    /** The arbiter's plan for the last stepRound(). Asserts that
+     *  arbitration is on and at least one round has run. */
+    const ArbitrationResult &lastArbitration() const;
 
     /** @name Classical resilience. */
     ///@{
@@ -269,6 +297,15 @@ class MasterController
     decode::DecodeDeadline _deadline;
     std::vector<std::size_t> _missedHeartbeats;
 
+    /** Shared-bandwidth arbiter state (sharedFetchBandwidth > 0). */
+    std::unique_ptr<DynamicScheduler> _arbiter;
+    ArbitrationResult _lastArbitration;
+    bool _arbValid = false;
+    // Per-tile contention metrics, bound at construction (registry
+    // references, never function-local statics).
+    std::vector<sim::metrics::Counter *> _mTileBwWait;
+    std::vector<sim::metrics::Gauge *> _mTileSlack;
+
     sim::StatGroup _stats;
     PacketNetwork _network;
     sim::Scalar &_bytesLogical;
@@ -314,6 +351,9 @@ class MasterController
 
     /** Per-round classical fault arrivals (hangs, SEUs). */
     void injectRoundFaults();
+
+    /** Run the shared-bandwidth arbiter over this round's tiles. */
+    void arbitrateRound();
 
     /** Collect, decode and correct one tile's residual window. */
     void decodeTile(std::size_t mce_idx);

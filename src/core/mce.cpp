@@ -91,7 +91,13 @@ Mce::Mce(std::string name, const MceConfig &cfg)
           "stray errors replayed from SEU-corrupted words")),
       _mLogicalInstrs(sim::metrics::Registry::global().counter(
           "mce.pipeline.logical_instrs",
-          "logical instructions entering the MCE pipeline"))
+          "logical instructions entering the MCE pipeline")),
+      _mSchedRounds(sim::metrics::Registry::global().counter(
+          "sched.replay.rounds",
+          "QECC rounds replayed through the dynamic scheduler")),
+      _mSchedCycles(sim::metrics::Registry::global().counter(
+          "sched.replay.cycles",
+          "pipeline cycles spent replaying scheduled rounds"))
 {
     const auto &spec = qecc::protocolSpec(cfg.protocol);
     _baseSchedule = std::make_unique<RoundSchedule>(
@@ -128,6 +134,72 @@ Mce::rebuildMaskedSchedule()
     _maskedSchedule = std::move(masked);
     _extractor = std::make_unique<qecc::SyndromeExtractor>(
         *_maskedSchedule);
+    // The dependence graph changed with the program; the next
+    // scheduled round (or oracle consumer) re-plans lazily.
+    _oracle.reset();
+    _planValid = false;
+}
+
+const verify::DependencyOracle &
+Mce::dependencyOracle()
+{
+    if (!_oracle)
+        _oracle = std::make_unique<verify::DependencyOracle>(
+            verify::DependencyOracle::fromSchedule(
+                *_maskedSchedule));
+    return *_oracle;
+}
+
+const TileSchedule &
+Mce::lastIssuePlan() const
+{
+    QUEST_ASSERT(_planValid,
+                 "%s: no out-of-order round has been planned",
+                 _name.c_str());
+    return _issuePlan;
+}
+
+std::uint64_t
+Mce::replayOutOfOrder(std::size_t uop_bits)
+{
+    const verify::DependencyOracle &oracle = dependencyOracle();
+    if (!_planValid) {
+        if (!_scheduler)
+            _scheduler =
+                std::make_unique<DynamicScheduler>(_cfg.sched);
+        _issuePlan = _scheduler->schedule(
+            oracle, SchedulingMode::OutOfOrder, 1);
+        _planValid = true;
+    }
+
+    // Replay the planned issue schedule: each issue cycle latches
+    // its uops, fires the master clock, and drops the switches back
+    // to Nop once the waveforms have played. Issue order is a pure
+    // timing reshuffle — the functional effects retire in program
+    // order through the extractor below, exactly as in-order replay.
+    const auto &uops = oracle.uops();
+    std::uint64_t round_uops = 0;
+    for (const auto &issue_cycle : _issuePlan.cycles) {
+        if (issue_cycle.empty())
+            continue;
+        for (const std::uint32_t id : issue_cycle)
+            _execUnit.latch(uops[id].qubit, uops[id].op);
+        _execUnit.masterClock();
+        for (const std::uint32_t id : issue_cycle)
+            _execUnit.release(uops[id].qubit);
+        round_uops += issue_cycle.size();
+    }
+
+    // Fetch accounting is identical to in-order replay: the stream
+    // still visits every slot (Nops cost fetch bandwidth and are
+    // discarded at decode), so the microcode-bit totals match.
+    _microcodeBits +=
+        double(_issuePlan.slotsFetched) * double(uop_bits);
+    _mReplayUcodeBits +=
+        std::uint64_t(_issuePlan.slotsFetched) * uop_bits;
+    ++_mSchedRounds;
+    _mSchedCycles += _issuePlan.cycles.size();
+    return round_uops;
 }
 
 void
@@ -406,16 +478,20 @@ Mce::runQeccRound()
     const std::size_t uop_bits =
         model.uopBits(_cfg.microcodeDesign, n);
     std::uint64_t round_uops = 0;
-    for (std::size_t s = 0; s < sched.depth(); ++s) {
-        const SubCycle &sc = sched.subCycle(s);
-        for (std::size_t q = 0; q < n; ++q) {
-            _execUnit.latch(q, sc.uops[q]);
-            if (sc.uops[q] != PhysOpcode::Nop)
-                ++round_uops;
+    if (_cfg.scheduling == SchedulingMode::OutOfOrder) {
+        round_uops = replayOutOfOrder(uop_bits);
+    } else {
+        for (std::size_t s = 0; s < sched.depth(); ++s) {
+            const SubCycle &sc = sched.subCycle(s);
+            for (std::size_t q = 0; q < n; ++q) {
+                _execUnit.latch(q, sc.uops[q]);
+                if (sc.uops[q] != PhysOpcode::Nop)
+                    ++round_uops;
+            }
+            _microcodeBits += double(n * uop_bits);
+            _mReplayUcodeBits += std::uint64_t(n) * uop_bits;
+            _execUnit.masterClock();
         }
-        _microcodeBits += double(n * uop_bits);
-        _mReplayUcodeBits += std::uint64_t(n) * uop_bits;
-        _execUnit.masterClock();
     }
     _qeccUops += double(round_uops);
     _mReplayUops += round_uops;

@@ -36,6 +36,7 @@
 #include "qecc/extractor.hpp"
 #include "qecc/logical_mask.hpp"
 #include "quantum/error_model.hpp"
+#include "scheduler.hpp"
 #include "sim/metrics.hpp"
 #include "sim/stats.hpp"
 
@@ -62,6 +63,17 @@ struct MceConfig
     quantum::ErrorRates errorRates = quantum::ErrorRates::none();
     std::size_t icacheCapacity = 1024; ///< instructions; 0 disables
     std::uint64_t seed = 1;
+
+    /**
+     * Pipeline timing model for the per-round microcode replay.
+     * Out-of-order issue changes *when* uops fire (the issue plan),
+     * never *what* retires: functional effects always apply in
+     * program order, so every architectural observable is
+     * bit-identical between modes.
+     */
+    SchedulingMode scheduling = SchedulingMode::InOrder;
+    /** Width/capacity knobs of the dynamic pipeline (OoO only). */
+    SchedulerConfig sched;
 
     /** Run the installed pre-flight verifier over the tile's
      *  artifacts at construction (see setPreflightVerifier). */
@@ -102,6 +114,25 @@ class Mce
     {
         return *_baseSchedule;
     }
+
+    /** The mask-filtered program actually replayed each round (what
+     *  the dynamic scheduler and the arbiter plan against). */
+    const qecc::RoundSchedule &maskedSchedule() const
+    {
+        return *_maskedSchedule;
+    }
+
+    /**
+     * Qubit-dependence oracle of the masked program — lazily built
+     * (and rebuilt after every mask change). Available in either
+     * scheduling mode; the OoO replay path and the master's
+     * bandwidth arbiter consume it.
+     */
+    const verify::DependencyOracle &dependencyOracle();
+
+    /** The issue plan the last OoO round replayed. Asserts that at
+     *  least one out-of-order round has run. */
+    const TileSchedule &lastIssuePlan() const;
 
     quantum::PauliFrame &frame() { return _frame; }
     LogicalInstructionCache &icache() { return _icache; }
@@ -277,6 +308,13 @@ class Mce
     std::unique_ptr<qecc::RoundSchedule> _maskedSchedule;
     std::unique_ptr<qecc::SyndromeExtractor> _extractor;
 
+    /** Dependence oracle + issue plan for the masked program;
+     *  invalidated by every mask change, rebuilt on demand. */
+    std::unique_ptr<verify::DependencyOracle> _oracle;
+    std::unique_ptr<DynamicScheduler> _scheduler;
+    TileSchedule _issuePlan;
+    bool _planValid = false;
+
     sim::Rng _rng;
     quantum::PauliFrame _frame;
     quantum::PauliFrame _ledger; ///< decoded-but-unexecuted corrections
@@ -319,6 +357,11 @@ class Mce
     sim::metrics::Counter &_mReplayHungRounds;
     sim::metrics::Counter &_mReplaySeuErrors;
     sim::metrics::Counter &_mLogicalInstrs;
+    sim::metrics::Counter &_mSchedRounds;
+    sim::metrics::Counter &_mSchedCycles;
+
+    /** Replay one round through the planned OoO issue schedule. */
+    std::uint64_t replayOutOfOrder(std::size_t uop_bits);
 
     /** Rebuild the mask-filtered schedule after mask changes. */
     void rebuildMaskedSchedule();

@@ -1,0 +1,137 @@
+#include "dependency.hpp"
+
+#include "diagnostics.hpp"
+#include "sim/logging.hpp"
+
+namespace quest::verify {
+
+using isa::PhysOpcode;
+using qecc::Coord;
+using qecc::Lattice;
+
+DependencyOracle::DependencyOracle(
+    const Lattice &lattice, std::size_t qubits,
+    const std::vector<std::vector<PhysOpcode>> &sub_cycles)
+    : _qubits(qubits), _depth(sub_cycles.size()),
+      _firstTouch(qubits, -1), _lastTouch(qubits, -1)
+{
+    constexpr std::ptrdiff_t never = -1;
+    std::vector<std::ptrdiff_t> first_prep(qubits, never);
+    std::vector<std::ptrdiff_t> first_meas(qubits, never);
+    std::vector<std::ptrdiff_t> last_two_qubit(qubits, never);
+
+    const auto touch = [&](std::size_t q, std::uint32_t seq) {
+        if (_firstTouch[q] < 0)
+            _firstTouch[q] = std::ptrdiff_t(seq);
+        _lastTouch[q] = std::ptrdiff_t(seq);
+    };
+
+    for (std::size_t s = 0; s < sub_cycles.size(); ++s) {
+        QUEST_ASSERT(sub_cycles[s].size() == qubits,
+                     "sub-cycle %zu has %zu slots, expected %zu", s,
+                     sub_cycles[s].size(), qubits);
+        std::vector<std::uint8_t> touched(qubits, 0);
+        for (std::size_t q = 0; q < qubits; ++q) {
+            const PhysOpcode op = sub_cycles[s][q];
+            if (op == PhysOpcode::PrepZ || op == PhysOpcode::PrepX) {
+                if (first_prep[q] == never)
+                    first_prep[q] = std::ptrdiff_t(s);
+            }
+            if (isa::isMeasurement(op)) {
+                if (first_meas[q] == never)
+                    first_meas[q] = std::ptrdiff_t(s);
+            }
+            if (op == PhysOpcode::Nop)
+                continue;
+
+            MicroOp uop;
+            uop.seq = std::uint32_t(_uops.size());
+            uop.subCycle = std::uint32_t(s);
+            uop.qubit = std::uint32_t(q);
+            uop.op = op;
+            uop.prevOnQubit = std::int32_t(_lastTouch[q]);
+
+            if (isa::isTwoQubit(op)) {
+                last_two_qubit[q] = std::ptrdiff_t(s);
+                const Coord c = lattice.coord(q);
+                const auto partner =
+                    lattice.neighbour(c, qecc::cnotDirection(op));
+                if (!partner || !lattice.isData(*partner)) {
+                    _hazards.push_back(HazardRecord{
+                        codes::partner, std::ptrdiff_t(s),
+                        std::ptrdiff_t(q),
+                        isa::physOpcodeName(op)
+                            + " has no data-qubit partner on the "
+                              "lattice"});
+                    touch(q, uop.seq);
+                    _uops.push_back(uop);
+                    continue;
+                }
+                const std::size_t p = lattice.index(*partner);
+                last_two_qubit[p] = std::ptrdiff_t(s);
+                if (touched[q] || touched[p]) {
+                    _hazards.push_back(HazardRecord{
+                        codes::aliasing, std::ptrdiff_t(s),
+                        std::ptrdiff_t(touched[p] ? p : q),
+                        "qubit is touched by more than one "
+                        "two-qubit uop in this sub-cycle"});
+                }
+                touched[q] = 1;
+                touched[p] = 1;
+                uop.partner = std::int32_t(p);
+                uop.prevOnPartner = std::int32_t(_lastTouch[p]);
+                touch(p, uop.seq);
+            }
+            touch(q, uop.seq);
+            _uops.push_back(uop);
+        }
+    }
+
+    for (std::size_t q = 0; q < qubits; ++q) {
+        if (first_meas[q] == never)
+            continue;
+        if (first_prep[q] == never || first_prep[q] > first_meas[q]) {
+            _hazards.push_back(HazardRecord{
+                codes::readBeforeReset, first_meas[q],
+                std::ptrdiff_t(q),
+                "qubit is measured without a preceding "
+                "preparation in the round"});
+        }
+        if (last_two_qubit[q] > first_meas[q]) {
+            _hazards.push_back(HazardRecord{
+                codes::measBeforeInteraction, last_two_qubit[q],
+                std::ptrdiff_t(q),
+                "interaction at sub-cycle "
+                    + std::to_string(last_two_qubit[q])
+                    + " lands after the measurement at sub-cycle "
+                    + std::to_string(first_meas[q])});
+        }
+    }
+}
+
+DependencyOracle
+DependencyOracle::fromSchedule(const qecc::RoundSchedule &schedule)
+{
+    std::vector<std::vector<PhysOpcode>> sub_cycles;
+    sub_cycles.reserve(schedule.depth());
+    for (std::size_t s = 0; s < schedule.depth(); ++s)
+        sub_cycles.push_back(schedule.subCycle(s).uops);
+    return DependencyOracle(schedule.lattice(),
+                            schedule.lattice().numQubits(),
+                            sub_cycles);
+}
+
+std::vector<std::uint32_t>
+DependencyOracle::producers(std::uint32_t seq) const
+{
+    const MicroOp &uop = _uops.at(seq);
+    std::vector<std::uint32_t> out;
+    if (uop.prevOnQubit >= 0)
+        out.push_back(std::uint32_t(uop.prevOnQubit));
+    if (uop.prevOnPartner >= 0
+        && uop.prevOnPartner != uop.prevOnQubit)
+        out.push_back(std::uint32_t(uop.prevOnPartner));
+    return out;
+}
+
+} // namespace quest::verify

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "dependency.hpp"
 #include "isa/rotations.hpp"
 #include "sim/metrics.hpp"
 #include "verifier.hpp"
@@ -194,7 +195,11 @@ class BudgetPass final : public Pass
  * Hazards on the expanded uop stream: per-sub-cycle two-qubit
  * address aliasing and off-lattice partners, and per-ancilla
  * ordering (reset before measurement, no interaction after
- * measurement).
+ * measurement). The analysis itself lives in DependencyOracle — the
+ * same scan the dynamic scheduler consumes for its producer edges —
+ * so the static findings and the runtime dependency graph can never
+ * drift apart. This pass only wraps the oracle's records in report
+ * diagnostics.
  */
 class HazardPass final : public Pass
 {
@@ -208,84 +213,13 @@ class HazardPass final : public Pass
             report.notePass(name());
             return;
         }
-        const Lattice &lattice = *a.lattice;
         const ExpandedStream stream = expandRam(a.ram);
-
-        constexpr std::ptrdiff_t never = -1;
-        const std::size_t n = stream.qubits;
-        std::vector<std::ptrdiff_t> first_prep(n, never);
-        std::vector<std::ptrdiff_t> first_meas(n, never);
-        std::vector<std::ptrdiff_t> last_two_qubit(n, never);
-
-        for (std::size_t s = 0; s < stream.depth(); ++s) {
-            std::vector<std::uint8_t> touched(n, 0);
-            for (std::size_t q = 0; q < n; ++q) {
-                const PhysOpcode op = stream.subCycles[s][q];
-                if (op == PhysOpcode::PrepZ
-                    || op == PhysOpcode::PrepX) {
-                    if (first_prep[q] == never)
-                        first_prep[q] = std::ptrdiff_t(s);
-                }
-                if (isa::isMeasurement(op)) {
-                    if (first_meas[q] == never)
-                        first_meas[q] = std::ptrdiff_t(s);
-                }
-                if (!isa::isTwoQubit(op))
-                    continue;
-                last_two_qubit[q] = std::ptrdiff_t(s);
-                const Coord c = lattice.coord(q);
-                const auto partner =
-                    lattice.neighbour(c, qecc::cnotDirection(op));
-                if (!partner || !lattice.isData(*partner)) {
-                    report.error(
-                        codes::partner,
-                        Site{"uop-stream", std::ptrdiff_t(s),
-                             std::ptrdiff_t(q), -1},
-                        isa::physOpcodeName(op)
-                            + " has no data-qubit partner on the "
-                              "lattice");
-                    continue;
-                }
-                const std::size_t p = lattice.index(*partner);
-                last_two_qubit[p] = std::ptrdiff_t(s);
-                if (touched[q] || touched[p]) {
-                    report.error(
-                        codes::aliasing,
-                        Site{"uop-stream", std::ptrdiff_t(s),
-                             std::ptrdiff_t(touched[p] ? p : q),
-                             -1},
-                        "qubit is touched by more than one "
-                        "two-qubit uop in this sub-cycle");
-                }
-                touched[q] = 1;
-                touched[p] = 1;
-            }
-        }
-
-        for (std::size_t q = 0; q < n; ++q) {
-            if (first_meas[q] == never)
-                continue;
-            if (first_prep[q] == never
-                || first_prep[q] > first_meas[q]) {
-                report.error(
-                    codes::readBeforeReset,
-                    Site{"uop-stream", first_meas[q],
-                         std::ptrdiff_t(q), -1},
-                    "qubit is measured without a preceding "
-                    "preparation in the round");
-            }
-            if (last_two_qubit[q] > first_meas[q]) {
-                report.error(
-                    codes::measBeforeInteraction,
-                    Site{"uop-stream", last_two_qubit[q],
-                         std::ptrdiff_t(q), -1},
-                    "interaction at sub-cycle "
-                        + std::to_string(last_two_qubit[q])
-                        + " lands after the measurement at "
-                          "sub-cycle "
-                        + std::to_string(first_meas[q]));
-            }
-        }
+        const DependencyOracle oracle(*a.lattice, stream.qubits,
+                                      stream.subCycles);
+        for (const HazardRecord &h : oracle.hazards())
+            report.error(h.code,
+                         Site{"uop-stream", h.subCycle, h.qubit, -1},
+                         h.message);
         report.notePass(name());
     }
 };

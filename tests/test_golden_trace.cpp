@@ -42,6 +42,8 @@ struct GoldenRun
 {
     std::string snapshot;
     std::uint64_t digest = 0;
+    /** Uops in the phase-5 out-of-order issue plan (one round). */
+    std::uint64_t schedIssued = 0;
 };
 
 /** Run the reference workload on `threads` workers. */
@@ -135,6 +137,22 @@ runGolden(std::size_t threads)
             streamer.finish();
         });
 
+        // Phase 5: out-of-order replay sweep. The dynamic
+        // scheduler's issue plan is a pure function of the masked
+        // program, so the sched.* counters — planned once, replayed
+        // every round — must land in the snapshot identically for
+        // every thread count (the cycle model itself is serial).
+        core::MceConfig ooo_cfg;
+        ooo_cfg.distance = 3;
+        ooo_cfg.seed = goldenSeed + 2;
+        ooo_cfg.scheduling = core::SchedulingMode::OutOfOrder;
+        ooo_cfg.errorRates =
+            quantum::ErrorRates{1e-3, 0, 0, 0, 1e-3};
+        core::Mce ooo("golden-ooo", ooo_cfg);
+        for (std::size_t r = 0; r < goldenDistance; ++r)
+            ooo.runQeccRound();
+        out.schedIssued = ooo.lastIssuePlan().issued;
+
         // Snapshot while the master's stat tree is still attached.
         out.snapshot = sim::metricsSnapshot();
         out.digest = tracer.countDigest();
@@ -147,8 +165,12 @@ TEST(GoldenTrace, WorkloadProducesObservableActivity)
 {
     const GoldenRun r = runGolden(1);
     // The snapshot must actually witness the instrumented
-    // components, not vacuously compare empty strings.
-    EXPECT_NE(r.snapshot.find("mce.replay.rounds 200"),
+    // components, not vacuously compare empty strings. Replay
+    // rounds: 2 master tiles x 100 offline rounds plus the d=3
+    // phase-5 out-of-order tile's rounds.
+    EXPECT_NE(r.snapshot.find(
+                  "mce.replay.rounds "
+                  + std::to_string(200 + goldenDistance)),
               std::string::npos)
         << r.snapshot;
     EXPECT_NE(r.snapshot.find("decode.mwpm.decodes"),
@@ -169,8 +191,22 @@ TEST(GoldenTrace, WorkloadProducesObservableActivity)
     EXPECT_NE(r.snapshot.find("decode.stream.windows 96"),
               std::string::npos)
         << r.snapshot;
-    if (sim::traceCompiledIn())
+    // Out-of-order sweep accounting: one issue plan serves all
+    // phase-5 rounds, so sched.issued witnesses exactly one round's
+    // uop count (computed at runtime — the program depends on the
+    // protocol and lattice) and sched.replay.rounds the replays.
+    ASSERT_GT(r.schedIssued, 0u);
+    EXPECT_NE(r.snapshot.find("sched.issued "
+                              + std::to_string(r.schedIssued)),
+              std::string::npos)
+        << r.snapshot;
+    EXPECT_NE(r.snapshot.find("sched.replay.rounds "
+                              + std::to_string(goldenDistance)),
+              std::string::npos)
+        << r.snapshot;
+    if (sim::traceCompiledIn()) {
         EXPECT_NE(r.digest, sim::emptyTraceDigest);
+    }
 }
 
 TEST(GoldenTrace, ByteIdenticalAcrossThreadCounts)

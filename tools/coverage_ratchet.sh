@@ -9,8 +9,16 @@
 #
 # The build directory must have been configured with
 # -DQUEST_COVERAGE=ON and the test suite run (ctest) so the .gcda
-# counters exist. Only gcov itself is required; the lcov HTML report
-# in CI is an optional extra artifact.
+# counters exist.
+#
+# Aggregation unions executed/instrumented lines per *source file*
+# across all translation units (gcov --json-format + python3). This
+# matters for header-defined inline functions: the linker keeps one
+# COMDAT copy and discards the rest, so every other TU reports the
+# same lines as all-zero — summing per-TU summaries (the old
+# behaviour, kept as a fallback when python3 is absent) charges
+# those discarded copies against the scope and the measured number
+# drifts *down* as more tests include the header.
 set -euo pipefail
 
 build=${1:?usage: coverage_ratchet.sh <build-dir> [baseline-file]}
@@ -19,18 +27,82 @@ baseline=${2:-"$(cd "$(dirname "$0")" && pwd)/coverage_baseline.txt"}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+if [ -z "$(find "$build" -name '*.gcda' -print -quit)" ]; then
+    echo "no gcov data found under $build" >&2
+    echo "(configure with -DQUEST_COVERAGE=ON and run ctest first)" >&2
+    exit 2
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    # One JSON document per .gcda on stdout; the union pass needs
+    # per-line hit data, not just the per-file summary.
+    find "$build" -name '*.gcda' -print0 |
+        while IFS= read -r -d '' gcda; do
+            gcov -j -t -o "$(dirname "$gcda")" "$gcda" 2>/dev/null \
+                || true
+        done > "$tmp/gcov.jsonl"
+    python3 - "$baseline" "$tmp/gcov.jsonl" <<'PYEOF'
+import json
+import sys
+
+instrumented = {}  # path -> set(line)
+executed = {}
+
+for doc in open(sys.argv[2]):
+    doc = doc.strip()
+    if not doc:
+        continue
+    try:
+        data = json.loads(doc)
+    except json.JSONDecodeError:
+        continue
+    for f in data.get("files", []):
+        path = f.get("file", "")
+        inst = instrumented.setdefault(path, set())
+        hits = executed.setdefault(path, set())
+        for line in f.get("lines", []):
+            n = line.get("line_number")
+            inst.add(n)
+            if line.get("count", 0) > 0:
+                hits.add(n)
+
+status = 0
+with open(sys.argv[1]) as fh:
+    for row in fh:
+        row = row.split("#", 1)[0].strip()
+        if not row:
+            continue
+        scope, floor = row.split()
+        frag = scope + "/"
+        total = covered = 0
+        for path, inst in instrumented.items():
+            if frag not in path:
+                continue
+            total += len(inst)
+            covered += len(executed[path] & inst)
+        pct = 100.0 * covered / total if total else 0.0
+        print("%-12s %6.1f%% (floor %s%%)" % (scope, pct, floor))
+        if pct < float(floor):
+            print(
+                "FAIL: %s line coverage %.1f%% is below the %s%% "
+                "ratchet" % (scope, pct, floor),
+                file=sys.stderr,
+            )
+            status = 1
+sys.exit(status)
+PYEOF
+    exit $?
+fi
+
+echo "warning: python3 not found, falling back to per-TU summary" \
+     "aggregation (COMDAT copies dilute headers)" >&2
+
 # One pass of gcov over every counter file; -n keeps it to the
 # stdout summary ("File '...'" / "Lines executed:P% of N" pairs).
 find "$build" -name '*.gcda' -print0 |
     while IFS= read -r -d '' gcda; do
         gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null || true
     done > "$tmp/gcov.txt"
-
-if ! grep -q '^File ' "$tmp/gcov.txt"; then
-    echo "no gcov data found under $build" >&2
-    echo "(configure with -DQUEST_COVERAGE=ON and run ctest first)" >&2
-    exit 2
-fi
 
 status=0
 while read -r scope floor; do

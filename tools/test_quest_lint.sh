@@ -1,0 +1,73 @@
+#!/bin/sh
+# Regression test for the det-unordered-iteration determinism rule.
+#
+# PR 8 audited the two known std::unordered_* / same-tick ordering
+# hot spots (LogicalInstructionCache::_index, point-access only, and
+# the EventQueue FIFO tie-break): this script pins the audit. It
+# checks that (1) the audited files stay clean, (2) a result-
+# affecting module that iterates an unordered_map trips the rule,
+# and (3) an explicit quest-lint allow() suppression still works.
+#
+# The corrupted fixture is staged in a throwaway repo skeleton
+# (tools/quest_lint derives the repo root from its own location, and
+# the rule only applies under result-affecting module paths such as
+# src/core/), so the real tree is never touched.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "python3 unavailable; skipping quest_lint regression"
+    exit 0
+fi
+
+# 1. The audited point-access users must stay clean.
+python3 "$root/tools/quest_lint" \
+    "$root/src/core/icache.hpp" "$root/src/core/icache.cpp" \
+    "$root/src/sim/event_queue.hpp" "$root/src/sim/event_queue.cpp"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/tools" "$tmp/src/core"
+cp "$root/tools/quest_lint" "$tmp/tools/quest_lint"
+
+# 2. Iterating an unordered_map in src/core must trip the rule.
+cat > "$tmp/src/core/bad_iteration.cpp" <<'EOF'
+#include <unordered_map>
+
+int
+sum()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+EOF
+if python3 "$tmp/tools/quest_lint" "$tmp/src/core/bad_iteration.cpp" \
+    > "$tmp/out.txt" 2>&1; then
+    echo "FAIL: linter accepted unordered iteration in src/core" >&2
+    cat "$tmp/out.txt" >&2
+    exit 1
+fi
+grep -q "det-unordered-iteration" "$tmp/out.txt"
+
+# 3. The same iteration under an explicit allow() is accepted.
+cat > "$tmp/src/core/bad_iteration.cpp" <<'EOF'
+#include <unordered_map>
+
+int
+sum()
+{
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    // quest-lint: allow(det-unordered-iteration)
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+EOF
+python3 "$tmp/tools/quest_lint" "$tmp/src/core/bad_iteration.cpp"
+
+echo "quest_lint det-unordered-iteration regression: OK"
