@@ -64,16 +64,65 @@ extractDetectionEventsBatch(
     const qecc::SyndromeExtractor &extractor,
     const qecc::BatchSyndromeRound *baseline, std::size_t first_round)
 {
+    std::vector<DetectionEvents> out;
+    extractDetectionEventsBatchInto(history, extractor, baseline,
+                                    first_round, out);
+    return out;
+}
+
+void
+extractDetectionEventsBatchInto(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor,
+    const qecc::BatchSyndromeRound *baseline, std::size_t first_round,
+    std::vector<DetectionEvents> &out)
+{
     constexpr std::size_t lanes = quantum::BatchPauliFrame::lanes;
-    std::vector<DetectionEvents> out(lanes);
+    out.resize(lanes);
     const auto &x_anc = extractor.xAncillas();
     const auto &z_anc = extractor.zAncillas();
 
+    // Two passes over the flip words: count events per lane first so
+    // every per-lane vector is reserved exactly once, then fill. At
+    // physical error rates events are sparse, so the extraction cost
+    // is dominated by allocator traffic, not the bit scans — the
+    // recomputed XORs in pass 2 are noise by comparison.
+    thread_local std::vector<std::uint32_t> nx, nz;
+    nx.assign(lanes, 0);
+    nz.assign(lanes, 0);
     for (std::size_t r = 0; r < history.size(); ++r) {
         const auto &round = history[r];
         QUEST_ASSERT(round.xFlips.size() == x_anc.size()
                          && round.zFlips.size() == z_anc.size(),
                      "syndrome round %zu has inconsistent width", r);
+        const qecc::BatchSyndromeRound *prev =
+            r == 0 ? baseline : &history[r - 1];
+        for (std::size_t i = 0; i < x_anc.size(); ++i) {
+            std::uint64_t diff =
+                round.xFlips[i] ^ (prev ? prev->xFlips[i] : 0);
+            while (diff) {
+                ++nx[std::size_t(std::countr_zero(diff))];
+                diff &= diff - 1;
+            }
+        }
+        for (std::size_t i = 0; i < z_anc.size(); ++i) {
+            std::uint64_t diff =
+                round.zFlips[i] ^ (prev ? prev->zFlips[i] : 0);
+            while (diff) {
+                ++nz[std::size_t(std::countr_zero(diff))];
+                diff &= diff - 1;
+            }
+        }
+    }
+    for (std::size_t t = 0; t < lanes; ++t) {
+        out[t].xEvents.clear();
+        out[t].zEvents.clear();
+        out[t].xEvents.reserve(nx[t]);
+        out[t].zEvents.reserve(nz[t]);
+    }
+
+    for (std::size_t r = 0; r < history.size(); ++r) {
+        const auto &round = history[r];
         const qecc::BatchSyndromeRound *prev =
             r == 0 ? baseline : &history[r - 1];
         for (std::size_t i = 0; i < x_anc.size(); ++i) {
@@ -97,7 +146,6 @@ extractDetectionEventsBatch(
             }
         }
     }
-    return out;
 }
 
 void

@@ -91,6 +91,20 @@ std::vector<DetectionEvents> extractDetectionEventsBatch(
     const qecc::BatchSyndromeRound *baseline, std::size_t first_round);
 
 /**
+ * Allocation-reusing core of extractDetectionEventsBatch: `out` is
+ * resized to the lane count and every per-lane event vector is
+ * cleared in place, so a caller that keeps `out` across batches pays
+ * no allocator traffic in steady state (events are sparse at
+ * physical error rates, which makes the allocator the dominant cost
+ * of the by-value variants — see bench/kernel_speed `frames`).
+ */
+void extractDetectionEventsBatchInto(
+    const std::vector<qecc::BatchSyndromeRound> &history,
+    const qecc::SyndromeExtractor &extractor,
+    const qecc::BatchSyndromeRound *baseline, std::size_t first_round,
+    std::vector<DetectionEvents> &out);
+
+/**
  * A correction: the set of data-qubit X flips and Z flips that, when
  * applied, should return the system to the code space.
  */

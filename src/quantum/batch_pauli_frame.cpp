@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "sim/simd.hpp"
+
 namespace quest::quantum {
 
 PauliFrame
@@ -31,10 +33,9 @@ BatchPauliFrame::laneWeight(std::size_t lane) const
 void
 BatchPauliFrame::clear()
 {
-    for (auto &w : _xerr)
-        w = 0;
-    for (auto &w : _zerr)
-        w = 0;
+    const sim::SimdKernels &k = sim::simdKernels();
+    k.zeroWords(_xerr.data(), _xerr.size());
+    k.zeroWords(_zerr.data(), _zerr.size());
 }
 
 std::size_t

@@ -1,7 +1,6 @@
 #include "tableau.hpp"
 
 #include <bit>
-#include <utility>
 
 #include "sim/logging.hpp"
 
@@ -10,6 +9,17 @@ namespace quest::quantum {
 namespace {
 
 constexpr std::size_t wordBits = 64;
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/** Column stride: ceil(2n/64) words, padded to a multiple of 8 so
+ *  the widest SIMD backend can run whole-vector column ops. */
+std::size_t
+columnStride(std::size_t num_qubits)
+{
+    const std::size_t words =
+        (2 * num_qubits + wordBits - 1) / wordBits;
+    return (words + 7) & ~std::size_t(7);
+}
 
 /** Inclusive prefix-parity of a word: bit k = parity of bits 0..k. */
 std::uint64_t
@@ -37,13 +47,13 @@ rowsBelowWord(std::size_t w, std::size_t limit)
 }
 
 bool
-getBitVec(const std::vector<std::uint64_t> &v, std::size_t i)
+getBit(const std::uint64_t *v, std::size_t i)
 {
     return (v[i / wordBits] >> (i % wordBits)) & 1u;
 }
 
 void
-setBitVec(std::vector<std::uint64_t> &v, std::size_t i, bool b)
+setBit(std::uint64_t *v, std::size_t i, bool b)
 {
     const std::uint64_t mask = std::uint64_t(1) << (i % wordBits);
     if (b)
@@ -56,10 +66,10 @@ setBitVec(std::vector<std::uint64_t> &v, std::size_t i, bool b)
 
 Tableau::Tableau(std::size_t num_qubits)
     : _n(num_qubits),
-      _rw((2 * num_qubits + wordBits - 1) / wordBits),
-      _x(num_qubits * _rw, 0),
-      _z(num_qubits * _rw, 0),
-      _r(_rw, 0)
+      _rw(columnStride(num_qubits)),
+      _x(num_qubits * _rw),
+      _z(num_qubits * _rw),
+      _r(_rw)
 {
     QUEST_ASSERT(_n > 0, "tableau needs at least one qubit");
     // Destabilizer i = X_i; stabilizer i = Z_i (the |0..0> state).
@@ -72,53 +82,39 @@ Tableau::Tableau(std::size_t num_qubits)
 bool
 Tableau::getX(std::size_t row, std::size_t col) const
 {
-    return (_x[col * _rw + row / wordBits] >> (row % wordBits)) & 1u;
+    return getBit(xcol(col), row);
 }
 
 bool
 Tableau::getZ(std::size_t row, std::size_t col) const
 {
-    return (_z[col * _rw + row / wordBits] >> (row % wordBits)) & 1u;
+    return getBit(zcol(col), row);
 }
 
 void
 Tableau::setX(std::size_t row, std::size_t col, bool v)
 {
-    auto &w = _x[col * _rw + row / wordBits];
-    const std::uint64_t mask = std::uint64_t(1) << (row % wordBits);
-    w = v ? (w | mask) : (w & ~mask);
+    setBit(xcol(col), row, v);
 }
 
 void
 Tableau::setZ(std::size_t row, std::size_t col, bool v)
 {
-    auto &w = _z[col * _rw + row / wordBits];
-    const std::uint64_t mask = std::uint64_t(1) << (row % wordBits);
-    w = v ? (w | mask) : (w & ~mask);
+    setBit(zcol(col), row, v);
 }
 
 void
 Tableau::h(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    std::uint64_t *x = xcol(q);
-    std::uint64_t *z = zcol(q);
-    for (std::size_t w = 0; w < _rw; ++w) {
-        _r[w] ^= x[w] & z[w];
-        std::swap(x[w], z[w]);
-    }
+    sim::simdKernels().tabH(xcol(q), zcol(q), _r.data(), _rw);
 }
 
 void
 Tableau::s(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    const std::uint64_t *x = xcol(q);
-    std::uint64_t *z = zcol(q);
-    for (std::size_t w = 0; w < _rw; ++w) {
-        _r[w] ^= x[w] & z[w];
-        z[w] ^= x[w];
-    }
+    sim::simdKernels().tabS(xcol(q), zcol(q), _r.data(), _rw);
 }
 
 void
@@ -133,28 +129,21 @@ void
 Tableau::x(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    const std::uint64_t *z = zcol(q);
-    for (std::size_t w = 0; w < _rw; ++w)
-        _r[w] ^= z[w];
+    sim::simdKernels().tabSignXor(_r.data(), zcol(q), _rw);
 }
 
 void
 Tableau::z(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    const std::uint64_t *x = xcol(q);
-    for (std::size_t w = 0; w < _rw; ++w)
-        _r[w] ^= x[w];
+    sim::simdKernels().tabSignXor(_r.data(), xcol(q), _rw);
 }
 
 void
 Tableau::y(std::size_t q)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    const std::uint64_t *x = xcol(q);
-    const std::uint64_t *z = zcol(q);
-    for (std::size_t w = 0; w < _rw; ++w)
-        _r[w] ^= x[w] ^ z[w];
+    sim::simdKernels().tabSignXor2(_r.data(), xcol(q), zcol(q), _rw);
 }
 
 void
@@ -162,17 +151,9 @@ Tableau::cnot(std::size_t control, std::size_t target)
 {
     QUEST_ASSERT(control < _n && target < _n && control != target,
                  "bad CNOT operands (%zu, %zu)", control, target);
-    std::uint64_t *xc = xcol(control);
-    std::uint64_t *zc = zcol(control);
-    std::uint64_t *xt = xcol(target);
-    std::uint64_t *zt = zcol(target);
-    for (std::size_t w = 0; w < _rw; ++w) {
-        // Sign flips where the row has X on the control, Z on the
-        // target and xt == zc (the CHP xc && zt && xt == zc rule).
-        _r[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
-        xt[w] ^= xc[w];
-        zc[w] ^= zt[w];
-    }
+    sim::simdKernels().tabCnot(xcol(control), zcol(control),
+                               xcol(target), zcol(target), _r.data(),
+                               _rw);
 }
 
 void
@@ -315,113 +296,107 @@ Tableau::deterministicZ(std::size_t q) const
     return phase == 2;
 }
 
+std::size_t
+Tableau::findPivot(std::size_t q) const
+{
+    const std::uint64_t *cx = xcol(q);
+    for (std::size_t w = _n / wordBits; w < _rw; ++w) {
+        const std::uint64_t hit = cx[w] & ~rowsBelowWord(w, _n);
+        if (hit)
+            return w * wordBits
+                + std::size_t(std::countr_zero(hit));
+    }
+    return npos;
+}
+
 int
 Tableau::peekZ(std::size_t q) const
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-    const std::uint64_t *cx = xcol(q);
-    for (std::size_t w = _n / wordBits; w < _rw; ++w)
-        if (cx[w] & ~rowsBelowWord(w, _n))
-            return -1; // outcome is random
+    if (findPivot(q) != npos)
+        return -1; // outcome is random
     return deterministicZ(q) ? 1 : 0;
 }
 
 void
 Tableau::collapseRandom(std::size_t q, std::size_t p, bool outcome)
 {
-    // Every row with an X bit in column q (other than p and its
-    // destabilizer partner) gets stabilizer row p multiplied in; the
-    // row mask lets all of those rowsums share one pass over the
-    // columns, with each row's Z4 phase tracked in two carry-save
-    // bit planes.
-    thread_local std::vector<std::uint64_t> m;
-    thread_local std::vector<std::uint64_t> cnt1v;
-    thread_local std::vector<std::uint64_t> cnt2v;
-    m.assign(xcol(q), xcol(q) + _rw);
-    cnt1v.assign(_rw, 0);
-    cnt2v.assign(_rw, 0);
-    const std::size_t d = p - _n;
-    m[p / wordBits] &= ~(std::uint64_t(1) << (p % wordBits));
-    m[d / wordBits] &= ~(std::uint64_t(1) << (d % wordBits));
-
-    const bool rp = getBitVec(_r, p);
-    for (std::size_t c = 0; c < _n; ++c) {
-        std::uint64_t *x = xcol(c);
-        std::uint64_t *z = zcol(c);
-        const bool x1 = getX(p, c);
-        const bool z1 = getZ(p, c);
-        if (!x1 && !z1)
-            continue; // identity at this column: no phase, no flip
-        for (std::size_t w = 0; w < _rw; ++w) {
-            const std::uint64_t mw = m[w];
-            const std::uint64_t x2 = x[w];
-            const std::uint64_t z2 = z[w];
-            std::uint64_t plus, minus;
-            if (x1 && z1) {
-                plus = z2 & ~x2;
-                minus = x2 & ~z2;
-            } else if (x1) {
-                plus = z2 & x2;
-                minus = z2 & ~x2;
-            } else {
-                plus = x2 & ~z2;
-                minus = x2 & z2;
-            }
-            plus &= mw;
-            minus &= mw;
-
-            const std::uint64_t up = cnt1v[w] & plus;
-            cnt1v[w] ^= plus;
-            cnt2v[w] ^= up;
-            const std::uint64_t down = ~cnt1v[w] & minus;
-            cnt1v[w] ^= minus;
-            cnt2v[w] ^= down;
-
-            if (x1)
-                x[w] ^= mw;
-            if (z1)
-                z[w] ^= mw;
-        }
-    }
-    for (std::size_t w = 0; w < _rw; ++w) {
-        // Per-row phase (2*r_h + 2*r_p + sum g) must be real, i.e.
-        // each selected row's g total must be even.
-        QUEST_ASSERT((cnt1v[w] & m[w]) == 0,
-                     "rowsum produced imaginary phase");
-        _r[w] ^= (cnt2v[w] & m[w]) ^ (rp ? m[w] : std::uint64_t(0));
-    }
-
-    // Row p becomes Z_q with the measured sign; its old value moves
-    // down to the destabilizer slot.
-    for (std::size_t c = 0; c < _n; ++c) {
-        setX(d, c, getX(p, c));
-        setZ(d, c, getZ(p, c));
-        setX(p, c, false);
-        setZ(p, c, false);
-    }
-    setBitVec(_r, d, rp);
-    setZ(p, q, true);
-    setBitVec(_r, p, outcome);
+    sim::TableauCollapseArgs args;
+    args.x = _x.data();
+    args.z = _z.data();
+    args.r = _r.data();
+    args.n = _n;
+    args.stride = _rw;
+    args.q = q;
+    args.p = p;
+    args.outcome = outcome;
+    sim::simdKernels().tabCollapse(args);
 }
 
 bool
 Tableau::measureZ(std::size_t q, sim::Rng &rng)
 {
     QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
-
-    // Look for a stabilizer anticommuting with Z_q.
-    const std::uint64_t *cx = xcol(q);
-    for (std::size_t w = _n / wordBits; w < _rw; ++w) {
-        const std::uint64_t hit = cx[w] & ~rowsBelowWord(w, _n);
-        if (hit) {
-            const std::size_t p =
-                w * wordBits + std::size_t(std::countr_zero(hit));
-            const bool outcome = rng.bernoulli(0.5);
-            collapseRandom(q, p, outcome);
-            return outcome;
-        }
+    const std::size_t p = findPivot(q);
+    if (p != npos) {
+        const bool outcome = rng.bernoulli(0.5);
+        collapseRandom(q, p, outcome);
+        return outcome;
     }
     return deterministicZ(q);
+}
+
+std::vector<std::uint64_t>
+Tableau::measureZLayer(const std::vector<std::size_t> &qubits,
+                       sim::Rng &rng)
+{
+    std::vector<std::uint64_t> out((qubits.size() + 63) / 64, 0);
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        if (measureZ(qubits[i], rng))
+            out[i / 64] |= std::uint64_t(1) << (i % 64);
+    return out;
+}
+
+std::vector<std::uint64_t>
+Tableau::measureZLayer(const std::vector<std::size_t> &qubits,
+                       sim::BatchRng &rng)
+{
+    std::vector<std::uint64_t> out((qubits.size() + 63) / 64, 0);
+    // Classification stays sequential — a collapse can flip a later
+    // column from deterministic to random and vice versa — but the
+    // draws are pooled: one 64-lane mask generation covers the next
+    // 64 random outcomes.
+    std::uint64_t pool = 0;
+    std::size_t nrand = 0;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        const std::size_t q = qubits[i];
+        QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+        bool outcome;
+        const std::size_t p = findPivot(q);
+        if (p != npos) {
+            if (nrand % 64 == 0)
+                pool = rng.bernoulliMask(0.5);
+            outcome = (pool >> (nrand % 64)) & 1u;
+            ++nrand;
+            collapseRandom(q, p, outcome);
+        } else {
+            outcome = deterministicZ(q);
+        }
+        if (outcome)
+            out[i / 64] |= std::uint64_t(1) << (i % 64);
+    }
+    return out;
+}
+
+bool
+Tableau::projectZ(std::size_t q, bool outcome)
+{
+    QUEST_ASSERT(q < _n, "qubit %zu out of range", q);
+    const std::size_t p = findPivot(q);
+    if (p == npos)
+        return false;
+    collapseRandom(q, p, outcome);
+    return true;
 }
 
 void
@@ -439,7 +414,7 @@ Tableau::stabilizer(std::size_t i) const
     const std::size_t row = _n + i;
     for (std::size_t q = 0; q < _n; ++q)
         out.set(q, makePauli(getX(row, q), getZ(row, q)));
-    out.setPhaseExponent(getBitVec(_r, row) ? 2 : 0);
+    out.setPhaseExponent(getBit(_r.data(), row) ? 2 : 0);
     return out;
 }
 
@@ -450,7 +425,7 @@ Tableau::destabilizer(std::size_t i) const
     PauliString out(_n);
     for (std::size_t q = 0; q < _n; ++q)
         out.set(q, makePauli(getX(i, q), getZ(i, q)));
-    out.setPhaseExponent(getBitVec(_r, i) ? 2 : 0);
+    out.setPhaseExponent(getBit(_r.data(), i) ? 2 : 0);
     return out;
 }
 

@@ -26,18 +26,7 @@
 #include <cstdint>
 
 #include "logging.hpp"
-
-// Function multi-versioning for the lane loop: the baseline x86-64
-// build only assumes SSE2, but bernoulliMask is the irreducible
-// per-trial cost of the batch engine, so clone it for AVX2 and let
-// the loader pick at startup. Purely an ISA dispatch — every clone
-// runs the identical arithmetic.
-#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
-#define QUEST_BATCH_RNG_CLONES                                         \
-    __attribute__((target_clones("avx2", "default")))
-#else
-#define QUEST_BATCH_RNG_CLONES
-#endif
+#include "simd.hpp"
 
 namespace quest::sim {
 
@@ -108,37 +97,18 @@ class BatchRng
   private:
     /**
      * Advance every lane once and pack the per-lane compares
-     * (r >> 11) < threshold into a lane mask. The step is written
-     * multiply-free ((s1 << 2) + s1 for *5, (r7 << 3) + r7 for *9)
-     * because no SSE/AVX2 level has a packed 64-bit multiply, and
-     * the compare as an unsigned-underflow sign bit — both operands
-     * are < 2^53 so (k - threshold) >> 63 is exactly k < threshold
-     * — so the whole loop vectorizes; the bit pack runs as a
-     * separate scalar reduction.
+     * (r >> 11) < threshold into a lane mask, on the dispatched
+     * SIMD backend (simdKernels().rngThresholdMask). The kernel is
+     * written multiply-free ((s1 << 2) + s1 for *5, (r7 << 3) + r7
+     * for *9) because no pre-AVX-512 level has a packed 64-bit
+     * multiply; every backend runs the identical arithmetic, so the
+     * mask (and the lane states) are bit-identical across targets.
      */
-    QUEST_BATCH_RNG_CLONES
     std::uint64_t
     thresholdMask(std::uint64_t threshold)
     {
-        alignas(64) std::uint64_t hit[lanes];
-        for (std::size_t t = 0; t < lanes; ++t) {
-            const std::uint64_t s1 = _s1[t];
-            const std::uint64_t t5 = (s1 << 2) + s1;
-            const std::uint64_t r7 = rotl(t5, 7);
-            const std::uint64_t result = (r7 << 3) + r7;
-            const std::uint64_t sh = s1 << 17;
-            _s2[t] ^= _s0[t];
-            _s3[t] ^= s1;
-            _s1[t] ^= _s2[t];
-            _s0[t] ^= _s3[t];
-            _s2[t] ^= sh;
-            _s3[t] = rotl(_s3[t], 45);
-            hit[t] = ((result >> 11) - threshold) >> 63;
-        }
-        std::uint64_t mask = 0;
-        for (std::size_t t = 0; t < lanes; ++t)
-            mask |= hit[t] << t;
-        return mask;
+        return simdKernels().rngThresholdMask(_s0, _s1, _s2, _s3,
+                                              threshold);
     }
 
     static std::uint64_t

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Internal contract between the SIMD dispatcher and the per-target
+ * backend translation units. Each backend TU defines exactly one of
+ * these factories; TUs for targets the toolchain cannot compile
+ * return nullptr so the dispatcher can treat "not built" and "not
+ * supported by this CPU" uniformly.
+ */
+
+#ifndef QUEST_SIM_SIMD_BACKEND_HPP
+#define QUEST_SIM_SIMD_BACKEND_HPP
+
+#include "simd.hpp"
+
+namespace quest::sim {
+
+const SimdKernels *questSimdPortableKernels();
+const SimdKernels *questSimdAvx2Kernels();
+const SimdKernels *questSimdAvx512Kernels();
+const SimdKernels *questSimdNeonKernels();
+
+} // namespace quest::sim
+
+#endif // QUEST_SIM_SIMD_BACKEND_HPP

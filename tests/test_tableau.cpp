@@ -323,6 +323,134 @@ TEST(Tableau, ExpectationConcurrentOnSharedTableau)
         EXPECT_EQ(bad[std::size_t(w)], 0) << "worker " << w;
 }
 
+/** Scramble a tableau with a fixed Clifford circuit. */
+void
+scramble(Tableau &t, std::size_t n, Rng &rng, int gates)
+{
+    for (int g = 0; g < gates; ++g) {
+        switch (rng.uniformInt(3)) {
+          case 0: t.h(rng.uniformInt(n)); break;
+          case 1: t.s(rng.uniformInt(n)); break;
+          case 2: {
+            const std::size_t a = rng.uniformInt(n);
+            const std::size_t b = rng.uniformInt(n);
+            if (a != b)
+                t.cnot(a, b);
+            break;
+          }
+        }
+    }
+}
+
+/**
+ * measureZLayer(Rng&) is the sequential measureZ loop, bit for bit:
+ * same outcomes and same number of draws consumed.
+ */
+TEST(TableauLayer, ScalarLayerEqualsSequentialMeasurements)
+{
+    Rng setup(0xA11CE);
+    for (const std::size_t n : { 5u, 33u, 70u }) {
+        Tableau a(n);
+        scramble(a, n, setup, 200);
+        Tableau b = a;
+
+        std::vector<std::size_t> layer;
+        for (std::size_t q = 0; q < n; ++q)
+            layer.push_back(q);
+        // Measure some qubits twice: the second measurement is
+        // deterministic and must consume no randomness.
+        for (std::size_t q = 0; q < n; q += 3)
+            layer.push_back(q);
+
+        Rng rng_a(42), rng_b(42);
+        const auto packed = a.measureZLayer(layer, rng_a);
+        ASSERT_EQ(packed.size(), (layer.size() + 63) / 64);
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            const bool want = b.measureZ(layer[i], rng_b);
+            const bool got = (packed[i / 64] >> (i % 64)) & 1u;
+            ASSERT_EQ(got, want) << "n=" << n << " index " << i;
+        }
+        // Draw streams stayed in lockstep throughout.
+        EXPECT_EQ(rng_a.next(), rng_b.next()) << "n=" << n;
+        ASSERT_TRUE(a.checkInvariants());
+    }
+}
+
+/**
+ * measureZLayer(BatchRng&) consumes bit j%64 of pooled mask j/64
+ * for the j-th *random* measurement and nothing for deterministic
+ * ones, so its outcomes are reconstructable from a clone of the
+ * pool via peekZ + projectZ.
+ */
+TEST(TableauLayer, BatchRngLayerMatchesDrawOrderReconstruction)
+{
+    Rng setup(0xB0B);
+    for (const std::size_t n : { 9u, 64u, 70u }) {
+        Tableau a(n);
+        scramble(a, n, setup, 250);
+        Tableau b = a;
+
+        std::vector<std::size_t> layer;
+        for (std::size_t q = 0; q < n; ++q)
+            layer.push_back(q);
+        for (std::size_t q = 0; q < n; q += 2)
+            layer.push_back(q);
+
+        quest::sim::BatchRng pool(7, 0), clone(7, 0);
+        const auto packed = a.measureZLayer(layer, pool);
+
+        std::size_t nrand = 0;
+        std::uint64_t mask = 0;
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            const std::size_t q = layer[i];
+            bool want = false;
+            const int peek = b.peekZ(q);
+            if (peek >= 0) {
+                want = peek != 0;
+                ASSERT_FALSE(b.projectZ(q, true))
+                    << "projectZ must not disturb a deterministic "
+                       "qubit";
+            } else {
+                if (nrand % 64 == 0)
+                    mask = clone.bernoulliMask(0.5);
+                want = (mask >> (nrand % 64)) & 1u;
+                ++nrand;
+                ASSERT_TRUE(b.projectZ(q, want));
+            }
+            const bool got = (packed[i / 64] >> (i % 64)) & 1u;
+            ASSERT_EQ(got, want) << "n=" << n << " index " << i;
+        }
+        ASSERT_TRUE(a.checkInvariants());
+        ASSERT_TRUE(b.checkInvariants());
+    }
+}
+
+/**
+ * projectZ forces a chosen outcome on a random qubit (collapsing
+ * it) and refuses to touch a deterministic one.
+ */
+TEST(Tableau, ProjectZForcesRandomOutcomes)
+{
+    Tableau t(3);
+    // |0>: deterministic, projectZ is a no-op either way.
+    EXPECT_FALSE(t.projectZ(0, true));
+    EXPECT_EQ(t.peekZ(0), 0);
+
+    // Superpose and force |1>.
+    t.h(0);
+    EXPECT_EQ(t.peekZ(0), -1);
+    EXPECT_TRUE(t.projectZ(0, true));
+    EXPECT_EQ(t.peekZ(0), 1);
+
+    // Entangled pair: forcing one side pins the other.
+    t.h(1);
+    t.cnot(1, 2);
+    EXPECT_TRUE(t.projectZ(1, false));
+    EXPECT_EQ(t.peekZ(1), 0);
+    EXPECT_EQ(t.peekZ(2), 0);
+    ASSERT_TRUE(t.checkInvariants());
+}
+
 /** Property: peekZ predicts measureZ whenever deterministic. */
 TEST(TableauProperty, PeekPredictsMeasurement)
 {

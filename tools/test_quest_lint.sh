@@ -1,5 +1,6 @@
 #!/bin/sh
-# Regression test for the det-unordered-iteration determinism rule.
+# Regression test for the det-unordered-iteration and
+# det-simd-dispatch determinism rules.
 #
 # PR 8 audited the two known std::unordered_* / same-tick ordering
 # hot spots (LogicalInstructionCache::_index, point-access only, and
@@ -70,4 +71,44 @@ sum()
 EOF
 python3 "$tmp/tools/quest_lint" "$tmp/src/core/bad_iteration.cpp"
 
-echo "quest_lint det-unordered-iteration regression: OK"
+# 4. The SIMD facade itself is the only file allowed to touch raw
+#    intrinsics / CPUID; it must stay clean under the linter.
+python3 "$root/tools/quest_lint" \
+    "$root/src/sim/simd.hpp" "$root/src/sim/simd.cpp" \
+    "$root/src/sim/simd_kernels.inc"
+
+# 5. Intrinsics or CPUID probes outside the facade must trip
+#    det-simd-dispatch.
+mkdir -p "$tmp/src/quantum"
+cat > "$tmp/src/quantum/bad_simd.cpp" <<'EOF'
+#include <immintrin.h>
+
+bool
+fast()
+{
+    return __builtin_cpu_supports("avx2") > 0;
+}
+EOF
+if python3 "$tmp/tools/quest_lint" "$tmp/src/quantum/bad_simd.cpp" \
+    > "$tmp/out.txt" 2>&1; then
+    echo "FAIL: linter accepted raw intrinsics in src/quantum" >&2
+    cat "$tmp/out.txt" >&2
+    exit 1
+fi
+grep -q "det-simd-dispatch" "$tmp/out.txt"
+
+# 6. The same code under an explicit allow() is accepted.
+cat > "$tmp/src/quantum/bad_simd.cpp" <<'EOF'
+// quest-lint: allow(det-simd-dispatch)
+#include <immintrin.h>
+
+bool
+fast()
+{
+    // quest-lint: allow(det-simd-dispatch)
+    return __builtin_cpu_supports("avx2") > 0;
+}
+EOF
+python3 "$tmp/tools/quest_lint" "$tmp/src/quantum/bad_simd.cpp"
+
+echo "quest_lint det-unordered-iteration + det-simd-dispatch: OK"
