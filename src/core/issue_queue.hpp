@@ -36,6 +36,14 @@ namespace quest::core {
  */
 std::size_t uopLatencyCycles(isa::PhysOpcode op);
 
+/**
+ * The longest uop waveform in the model (measurement). Exposed so
+ * the static timing oracle (verify::TimingOracle) can bound issue
+ * schedules without enumerating opcodes; a test pins it to
+ * max over uopLatencyCycles.
+ */
+inline constexpr std::size_t kMaxUopLatencyCycles = 4;
+
 /** Per-uop dependency and completion tracking. */
 class Scoreboard
 {

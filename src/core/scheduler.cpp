@@ -24,9 +24,6 @@ arbiterPolicyName(ArbiterPolicy policy)
 
 namespace {
 
-/** Safety cap: no tile program legitimately needs this long. */
-constexpr std::uint64_t maxSimCycles = 50'000'000;
-
 /** One tile's pipeline state inside the arbitration loop. */
 struct TileState
 {
@@ -332,7 +329,7 @@ DynamicScheduler::arbitrate(
             all_done = all_done && t.finished();
         if (all_done)
             break;
-        QUEST_ASSERT(cycle < maxSimCycles,
+        QUEST_ASSERT(cycle < kMaxSimCycles,
                      "arbitration did not converge (livelock?)");
 
         // Grant order: rotating priority, or lowest fetched

@@ -73,6 +73,14 @@ enum class ArbiterPolicy
 /** Display name: "round-robin" / "oldest-first". */
 std::string arbiterPolicyName(ArbiterPolicy policy);
 
+/**
+ * Safety cap on simulated arbitration cycles: no tile program
+ * legitimately needs this long. Exposed so the static timing
+ * oracle can sanity-check that its worst-case bounds stay inside
+ * what the dynamic model would ever simulate.
+ */
+inline constexpr std::uint64_t kMaxSimCycles = 50'000'000;
+
 /** Width/capacity knobs of the dynamic pipeline. */
 struct SchedulerConfig
 {

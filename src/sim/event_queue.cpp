@@ -6,6 +6,14 @@
 
 namespace quest::sim {
 
+EventQueue::EventQueue()
+    : _mScheduled(metrics::Registry::global().counter(
+          "sim.queue.scheduled", "events entered into any queue")),
+      _mExecuted(metrics::Registry::global().counter(
+          "sim.queue.executed", "events dispatched by any queue"))
+{
+}
+
 void
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
                      const char *label)
@@ -14,19 +22,13 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
                  "event scheduled in the past (when=%llu, now=%llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_now));
-    static metrics::Counter &scheduled =
-        metrics::Registry::global().counter(
-            "sim.queue.scheduled", "events entered into any queue");
-    ++scheduled;
+    ++_mScheduled;
     _heap.push(Entry{when, prio, _nextSeq++, std::move(cb), label});
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
-    static metrics::Counter &executed_total =
-        metrics::Registry::global().counter(
-            "sim.queue.executed", "events dispatched by any queue");
     std::uint64_t executed = 0;
     while (!_heap.empty() && _heap.top().when <= limit) {
         Entry e = _heap.top();
@@ -39,7 +41,7 @@ EventQueue::run(Tick limit)
         ++_dispatched[e.label];
         ++executed;
     }
-    executed_total += executed;
+    _mExecuted += executed;
     // Time advances to the horizon we simulated up to, even when
     // later events remain pending.
     if (limit != maxTick && limit > _now)

@@ -24,6 +24,10 @@
 
 namespace quest::sim {
 
+namespace metrics {
+class Counter;
+}
+
 /** Priority for events scheduled at the same tick; lower runs first. */
 using EventPriority = std::int32_t;
 
@@ -39,7 +43,7 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -127,6 +131,12 @@ class EventQueue
             return a.seq > b.seq;
         }
     };
+
+    // Registry counters bound at construction; never function-local
+    // statics (registry-lifetime hazard, quest_lint
+    // det-metric-local-static).
+    metrics::Counter &_mScheduled;
+    metrics::Counter &_mExecuted;
 
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     Tick _now = 0;

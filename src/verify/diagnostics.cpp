@@ -1,5 +1,6 @@
 #include "diagnostics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -94,8 +95,13 @@ Report::merge(const Report &other)
 {
     for (const auto &d : other._diagnostics)
         _diagnostics.push_back(d);
+    // Multi-tile merges fold N identical pipelines into one report;
+    // passesRun() lists each pass once, in first-seen order, so the
+    // JSON "passes" array stays a catalogue rather than a tally.
     for (const auto &p : other._passes)
-        _passes.push_back(p);
+        if (std::find(_passes.begin(), _passes.end(), p)
+            == _passes.end())
+            _passes.push_back(p);
 }
 
 namespace {
@@ -134,7 +140,8 @@ pad(int indent)
 } // namespace
 
 void
-Report::writeJson(std::ostream &os, int indent) const
+Report::writeJson(std::ostream &os, int indent,
+                  const std::string &extraSections) const
 {
     const std::string p0 = pad(indent);
     const std::string p1 = pad(indent + 2);
@@ -165,8 +172,10 @@ Report::writeJson(std::ostream &os, int indent) const
     }
     if (!_diagnostics.empty())
         os << "\n" << p1;
-    os << "]\n";
-    os << p0 << "}";
+    os << "]";
+    if (!extraSections.empty())
+        os << ",\n" << p1 << extraSections;
+    os << "\n" << p0 << "}";
 }
 
 std::string

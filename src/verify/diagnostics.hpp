@@ -17,6 +17,8 @@
  *   hazard.*  schedule hazards on the expanded uop stream
  *   mask.*    mask-table rows (logical qubit regions)
  *   isa.*     logical instruction traces
+ *   timing.*  static worst-case issue bounds vs the round deadline
+ *   contention.*  shared fetch-slot admission for co-resident tiles
  */
 
 #ifndef QUEST_VERIFY_DIAGNOSTICS_HPP
@@ -82,6 +84,23 @@ inline constexpr const char *unknownOpcode = "isa.unknown_opcode";
 inline constexpr const char *operandRange = "isa.operand_range";
 /** Rotation decomposition exceeds the icache line budget. */
 inline constexpr const char *rotationBudget = "isa.rotation_budget";
+
+/** Dataflow critical path alone misses the round deadline. */
+inline constexpr const char *timingDeadline = "timing.deadline";
+/** Fetch/issue widths stretch the worst case past the deadline. */
+inline constexpr const char *timingWidthBound = "timing.width_bound";
+/** Bounded issue-queue capacity stretches the worst case past the
+ *  deadline (widths alone would have met it). */
+inline constexpr const char *timingQueueBound = "timing.queue_bound";
+
+/** Aggregate fetch demand of co-resident tiles exceeds the shared
+ *  bandwidth. */
+inline constexpr const char *contentionOvercommit =
+    "contention.overcommit";
+/** Aggregate demand fits, but worst-case arbitration phasing pushes
+ *  a tile past its deadline. */
+inline constexpr const char *contentionStarvation =
+    "contention.starvation";
 
 } // namespace codes
 
@@ -157,8 +176,13 @@ class Report
      *   { "ok": bool, "errors": n, "warnings": n,
      *     "passes": [...], "diagnostics": [ {code, severity,
      *     message, artifact, sub_cycle, qubit, index}, ... ] }
+     *
+     * `extraSections` is spliced verbatim (already-serialized
+     * `"key": value` pairs) after "diagnostics" — how the CLI
+     * attaches its "timing" section to the same document.
      */
-    void writeJson(std::ostream &os, int indent = 0) const;
+    void writeJson(std::ostream &os, int indent = 0,
+                   const std::string &extraSections = "") const;
 
     /** Human-readable multi-line summary. */
     std::string toString() const;

@@ -4,6 +4,7 @@
 #include "sim/logging.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
+#include "timing.hpp"
 
 namespace quest::verify {
 
@@ -25,6 +26,8 @@ Verifier::Verifier()
     _passes.push_back(makeHazardPass());
     _passes.push_back(makeMaskPass());
     _passes.push_back(makeIsaPass());
+    _passes.push_back(makeTimingPass());
+    _passes.push_back(makeContentionPass());
 }
 
 void
@@ -73,6 +76,8 @@ buildTileBundle(const core::MceConfig &cfg, std::string label)
     a.fifo = compileFifo(*bundle.schedule);
     a.cell = compileUnitCell(*bundle.schedule);
     a.icacheCapacity = cfg.icacheCapacity;
+    a.timing.sched = cfg.sched;
+    a.timing.scheduling = cfg.scheduling;
     return bundle;
 }
 
@@ -108,6 +113,8 @@ preflightGate(const core::Mce &mce)
     a.fifo = compileFifo(mce.baseSchedule());
     a.cell = compileUnitCell(mce.baseSchedule());
     a.icacheCapacity = cfg.icacheCapacity;
+    a.timing.sched = cfg.sched;
+    a.timing.scheduling = cfg.scheduling;
 
     const Report report = Verifier().run(a);
     if (!report.ok()) {

@@ -23,7 +23,13 @@
  *                overlap;
  *   isa          logical traces carry only known opcodes and
  *                in-range operands, and rotation decompositions fit
- *                the icache line budget.
+ *                the icache line budget;
+ *   timing       the static worst-case issue bound (TimingOracle's
+ *                abstract interpretation of the dynamic scheduler)
+ *                meets the syndrome-cycle deadline;
+ *   contention   co-resident tiles sharing the fetch substrate all
+ *                still meet the deadline under worst-case
+ *                arbitration.
  *
  * Every run bumps the process-wide `verify.*` metrics so a fleet
  * operator can alert on pre-flight failures.
@@ -83,6 +89,27 @@ struct TileArtifacts
     std::size_t icacheCapacity = 0;
     /** Rotation synthesis precision for the budget check (0 skips). */
     double rotationEpsilon = 0.0;
+
+    /** What the timing/contention passes analyse (see timing.hpp). */
+    struct TimingSpec
+    {
+        /** Pipeline widths/capacity of the tile under analysis. */
+        core::SchedulerConfig sched;
+        core::SchedulingMode scheduling =
+            core::SchedulingMode::InOrder;
+        /** Rounds the bound covers (deadline scales with it). */
+        std::size_t rounds = 1;
+        /** Co-resident copies the contention pass models. */
+        std::size_t contentionTiles = 1;
+        /** Shared fetch slots/cycle; 0 means sched.fetchWidth. */
+        std::size_t sharedFetchBandwidth = 0;
+        core::ArbiterPolicy arbiterPolicy =
+            core::ArbiterPolicy::RoundRobin;
+        /** Per-round deadline override in cycles; 0 derives the
+         *  syndrome-cycle deadline from spec + technology. */
+        std::size_t deadlineCycles = 0;
+    };
+    TimingSpec timing;
 };
 
 /** One verification pass. */
@@ -95,7 +122,7 @@ class Pass
                      Report &report) const = 0;
 };
 
-/** @name The standard passes. */
+/** @name The standard passes (timing/contention: see timing.hpp). */
 ///@{
 std::unique_ptr<Pass> makeEquivalencePass();
 std::unique_ptr<Pass> makeBudgetPass();
@@ -108,7 +135,7 @@ std::unique_ptr<Pass> makeIsaPass();
 class Verifier
 {
   public:
-    /** Constructs the standard five-pass pipeline. */
+    /** Constructs the standard seven-pass pipeline. */
     Verifier();
 
     /** Append a custom pass after the standard ones. */

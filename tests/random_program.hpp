@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Seeded random-microcode-program generator shared by the scheduler
+ * replay-equivalence harness (tests/test_scheduler.cpp) and the
+ * static timing-oracle soundness fuzz (tests/test_timing.cpp).
+ *
+ * The generator emits hazard-clean per-round uop streams by
+ * construction — prepare a random ancilla subset, 2-4 randomized
+ * interaction sub-cycles with aliasing/partner constraints
+ * respected, occasional dedicated single-qubit sub-cycles, measure
+ * every prepared ancilla last — so every program is legal input for
+ * both the dynamic scheduler and the abstract timing model, and the
+ * two harnesses fuzz the *same* corpus: any bound the oracle proves
+ * is checked against the exact pipeline the replay tests trust.
+ */
+
+#ifndef QUEST_TESTS_RANDOM_PROGRAM_HPP
+#define QUEST_TESTS_RANDOM_PROGRAM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+#include "qecc/lattice.hpp"
+#include "qecc/schedule.hpp"
+#include "sim/random.hpp"
+#include "verify/verifier.hpp"
+
+namespace quest::testutil {
+
+/** A random per-round uop stream on its own lattice. */
+struct RandomProgram
+{
+    std::unique_ptr<qecc::Lattice> lattice;
+    std::vector<std::vector<isa::PhysOpcode>> subCycles;
+
+    std::size_t qubits() const { return lattice->numQubits(); }
+};
+
+/**
+ * Generate a random hazard-clean program: prepare a random subset of
+ * ancillas, run 2-4 randomized interaction sub-cycles (direction per
+ * ancilla, partner and aliasing constraints respected), sprinkle
+ * single-qubit data gates on dedicated sub-cycles, and measure every
+ * prepared ancilla last. By construction the stream satisfies every
+ * invariant the hazard pass checks, which the harness verifies.
+ */
+inline RandomProgram
+makeRandomProgram(std::uint64_t seed)
+{
+    using isa::PhysOpcode;
+    using qecc::Coord;
+    using qecc::Direction;
+    using qecc::Lattice;
+    using qecc::SiteType;
+
+    sim::Rng rng(sim::Rng::deriveSeed(0x5eedu, seed));
+    RandomProgram p;
+    const std::size_t dim = rng.bernoulli(0.5) ? 5 : 7;
+    p.lattice = std::make_unique<Lattice>(dim, dim);
+    const std::size_t n = p.lattice->numQubits();
+
+    std::vector<std::uint8_t> prepped(n, 0);
+    std::vector<PhysOpcode> prep(n, PhysOpcode::Nop);
+    for (std::size_t q = 0; q < n; ++q) {
+        const Coord c = p.lattice->coord(q);
+        if (p.lattice->isAncilla(c) && rng.bernoulli(0.75)) {
+            prep[q] = rng.bernoulli(0.5) ? PhysOpcode::PrepZ
+                                         : PhysOpcode::PrepX;
+            prepped[q] = 1;
+        }
+    }
+    p.subCycles.push_back(prep);
+
+    const std::size_t interactions = 2 + rng.uniformInt(3);
+    for (std::size_t k = 0; k < interactions; ++k) {
+        std::vector<PhysOpcode> sc(n, PhysOpcode::Nop);
+        std::vector<std::uint8_t> touched(n, 0);
+        for (std::size_t q = 0; q < n; ++q) {
+            if (!prepped[q] || !rng.bernoulli(0.6))
+                continue;
+            const Coord c = p.lattice->coord(q);
+            const auto dir = static_cast<Direction>(
+                rng.uniformInt(4));
+            const auto nb = p.lattice->neighbour(c, dir);
+            if (!nb || !p.lattice->isData(*nb))
+                continue;
+            const std::size_t partner = p.lattice->index(*nb);
+            if (touched[q] || touched[partner])
+                continue; // would alias within the sub-cycle
+            sc[q] = p.lattice->siteType(c) == SiteType::XAncilla
+                ? qecc::cnotOpcode(dir)
+                : qecc::cnotTargetOpcode(dir);
+            touched[q] = touched[partner] = 1;
+        }
+        p.subCycles.push_back(std::move(sc));
+
+        // Occasional dedicated single-qubit sub-cycle on data sites
+        // (kept out of interaction sub-cycles so no slot fires two
+        // waveforms onto one qubit in the same master clock).
+        if (rng.bernoulli(0.3)) {
+            std::vector<PhysOpcode> g1(n, PhysOpcode::Nop);
+            for (std::size_t q = 0; q < n; ++q)
+                if (p.lattice->isData(p.lattice->coord(q))
+                    && rng.bernoulli(0.2))
+                    g1[q] = rng.bernoulli(0.5) ? PhysOpcode::Hadamard
+                                               : PhysOpcode::Phase;
+            p.subCycles.push_back(std::move(g1));
+        }
+    }
+
+    std::vector<PhysOpcode> meas(n, PhysOpcode::Nop);
+    for (std::size_t q = 0; q < n; ++q)
+        if (prepped[q])
+            meas[q] = rng.bernoulli(0.5) ? PhysOpcode::MeasZ
+                                         : PhysOpcode::MeasX;
+    p.subCycles.push_back(std::move(meas));
+    return p;
+}
+
+/** The verifier artifacts of a raw stream (RAM image + consistent
+ *  FIFO and degenerate whole-lattice unit-cell images). */
+inline verify::TileArtifacts
+artifactsFor(const RandomProgram &p)
+{
+    using isa::PhysOpcode;
+
+    verify::TileArtifacts a;
+    a.label = "fuzz";
+    a.lattice = p.lattice.get();
+    a.spec = nullptr; // skip the budget pass: no protocol cadence
+
+    a.ram.qubits = p.qubits();
+    a.fifo.qubits = p.qubits();
+    a.fifo.depth = p.subCycles.size();
+    a.cell.cellRows = p.lattice->rows();
+    a.cell.cellCols = p.lattice->cols();
+    for (const auto &sc : p.subCycles) {
+        std::vector<isa::PhysInstr> row;
+        for (std::size_t q = 0; q < sc.size(); ++q) {
+            if (sc[q] != PhysOpcode::Nop)
+                row.push_back({sc[q], std::uint32_t(q)});
+            a.fifo.stream.push_back(sc[q]);
+        }
+        a.ram.subCycles.push_back(std::move(row));
+        a.cell.subCycles.push_back(sc);
+    }
+    return a;
+}
+
+} // namespace quest::testutil
+
+#endif // QUEST_TESTS_RANDOM_PROGRAM_HPP

@@ -15,6 +15,7 @@
  * pre-flight gate dependency-injected into core::Mce.
  */
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
@@ -24,6 +25,8 @@
 #include "qecc/protocol.hpp"
 #include "sim/logging.hpp"
 #include "sim/metrics.hpp"
+#include "verify/program.hpp"
+#include "verify/timing.hpp"
 #include "verify/verifier.hpp"
 
 namespace quest {
@@ -302,6 +305,59 @@ const Corruption kCorruptions[] = {
          b.artifacts.icacheCapacity = 10;
          b.artifacts.rotationEpsilon = 1e-10;
      }},
+
+    {"deadline below the dataflow critical path",
+     verify::codes::timingDeadline,
+     [](TileBundle &b) {
+         b.artifacts.timing.deadlineCycles = 1;
+     }},
+
+    {"single-slot fetch against a mid-range deadline",
+     verify::codes::timingWidthBound,
+     [](TileBundle &b) {
+         // Wide enough for the waveform chain (the critical path),
+         // far too tight for a one-slot-per-cycle fetch stream.
+         b.artifacts.timing.sched.fetchWidth = 1;
+         b.artifacts.timing.deadlineCycles = 60;
+     }},
+
+    {"one-deep issue queue at the width-tier deadline",
+     verify::codes::timingQueueBound,
+     [](TileBundle &b) {
+         b.artifacts.timing.scheduling =
+             core::SchedulingMode::OutOfOrder;
+         b.artifacts.timing.sched.queueCapacity = 1;
+         // Deadline exactly at the unbounded-queue bound: only the
+         // capacity term can push the worst case past it.
+         const verify::ExpandedStream stream =
+             verify::expandRam(b.artifacts.ram);
+         const verify::DependencyOracle oracle(
+             *b.artifacts.lattice, stream.qubits,
+             stream.subCycles);
+         const verify::TimingBound bound =
+             verify::TimingOracle(b.artifacts.timing.sched)
+                 .bound(oracle, core::SchedulingMode::OutOfOrder);
+         ASSERT_GT(bound.totalBoundCycles,
+                   bound.widthBoundCycles);
+         b.artifacts.timing.deadlineCycles =
+             bound.widthBoundCycles;
+     }},
+
+    {"64 tenants on one shared fetch slot",
+     verify::codes::contentionOvercommit,
+     [](TileBundle &b) {
+         b.artifacts.timing.contentionTiles = 64;
+         b.artifacts.timing.sharedFetchBandwidth = 1;
+         b.artifacts.timing.deadlineCycles = 200;
+     }},
+
+    {"8 tenants fit aggregate bandwidth but not the phasing",
+     verify::codes::contentionStarvation,
+     [](TileBundle &b) {
+         b.artifacts.timing.contentionTiles = 8;
+         b.artifacts.timing.sharedFetchBandwidth = 8;
+         b.artifacts.timing.deadlineCycles = 300;
+     }},
 };
 
 TEST(VerifyNegative, EachCorruptionFiresItsExactCode)
@@ -364,11 +420,13 @@ TEST(VerifyReport, JsonCarriesDiagnosticsAndPasses)
     EXPECT_NE(json.find("\"artifact\""), std::string::npos);
 }
 
-TEST(VerifyReport, MergeAccumulatesAcrossRuns)
+TEST(VerifyReport, MergeDeduplicatesPassesAcrossRuns)
 {
     Report combined;
     combined.merge(verify::verifyConfig(cleanConfig()));
     EXPECT_TRUE(combined.ok());
+    const std::size_t once = combined.passesRun().size();
+    EXPECT_EQ(once, 7u);
 
     core::MceConfig bad = cleanConfig();
     bad.microcodeDesign = core::MicrocodeDesign::Ram;
@@ -376,7 +434,16 @@ TEST(VerifyReport, MergeAccumulatesAcrossRuns)
     combined.merge(verify::verifyConfig(bad));
     EXPECT_FALSE(combined.ok());
     EXPECT_EQ(combined.countCode(verify::codes::capacity), 1u);
-    EXPECT_GE(combined.passesRun().size(), 10u);
+
+    // Order-preserving dedup: a multi-tile merge still lists each
+    // pass exactly once, in first-seen pipeline order.
+    EXPECT_EQ(combined.passesRun().size(), once);
+    EXPECT_EQ(combined.passesRun().front(), "equivalence");
+    EXPECT_EQ(combined.passesRun().back(), "contention");
+    std::vector<std::string> sorted = combined.passesRun();
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
 }
 
 TEST(VerifyReport, MetricsCountRunsAndErrors)

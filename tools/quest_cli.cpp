@@ -33,6 +33,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +48,8 @@
 #include "sim/metrics.hpp"
 #include "sim/table.hpp"
 #include "sim/trace.hpp"
+#include "verify/program.hpp"
+#include "verify/timing.hpp"
 #include "verify/verifier.hpp"
 #include "workloads/estimator.hpp"
 
@@ -380,6 +383,131 @@ cmdSimulate(const Options &opts)
     return 0;
 }
 
+/** One --timing differential row: static bound vs dynamic run. */
+struct TimingRow
+{
+    std::string protocol;
+    std::string design;
+    std::string mode;
+    std::size_t tiles = 1;
+    std::size_t rounds = 1;
+    verify::TimingBound bound;
+    std::size_t observedCycles = 0;
+    std::size_t deadlineCycles = 0; // budget over all rounds
+    bool sound = false;
+    bool tight = false;
+};
+
+/** Syndrome-round deadline of a tile config, in JJ-clock cycles. */
+std::size_t
+roundDeadlineCycles(const core::MceConfig &cfg)
+{
+    const qecc::ProtocolSpec &spec = qecc::protocolSpec(cfg.protocol);
+    return std::size_t(
+        sim::ticksToSeconds(
+            spec.roundDuration(tech::gateLatencies(cfg.technology)))
+        * tech::jjClockHz);
+}
+
+/**
+ * The --timing differential for one tile config: bound the round
+ * program statically under `mode`, run the dynamic scheduler on the
+ * same program (arbitrated over shared fetch when --tiles > 1) and
+ * compare. Soundness (bound >= observed) must hold everywhere; the
+ * 1.5x tightness gate applies uncontended, where the bound claims
+ * to track the real pipeline rather than a worst-case grant phase.
+ */
+TimingRow
+runTimingDifferential(const core::MceConfig &cfg,
+                      const verify::TileBundle &bundle,
+                      core::SchedulingMode mode, std::size_t tiles,
+                      std::size_t rounds)
+{
+    const verify::ExpandedStream stream =
+        verify::expandRam(bundle.artifacts.ram);
+    const verify::DependencyOracle dep(
+        *bundle.artifacts.lattice, stream.qubits, stream.subCycles);
+    const core::SchedulerConfig &scfg = cfg.sched;
+    const std::size_t bandwidth = scfg.fetchWidth;
+
+    TimingRow row;
+    row.protocol = qecc::protocolName(cfg.protocol);
+    row.design = core::microcodeDesignName(cfg.microcodeDesign);
+    row.mode = core::schedulingModeName(mode);
+    row.tiles = tiles;
+    row.rounds = rounds;
+    row.deadlineCycles = roundDeadlineCycles(cfg) * rounds;
+
+    const verify::FetchGrant grant = verify::worstCaseGrant(
+        tiles, scfg.fetchWidth, bandwidth,
+        core::ArbiterPolicy::RoundRobin);
+    row.bound = verify::TimingOracle(scfg).bound(
+        dep, mode, rounds, grant);
+
+    const core::DynamicScheduler sched(scfg);
+    if (tiles <= 1) {
+        row.observedCycles =
+            sched.schedule(dep, mode, rounds).cycles.size();
+    } else {
+        const std::vector<const verify::DependencyOracle *> fleet(
+            tiles, &dep);
+        const std::vector<std::uint8_t> active(tiles, 1);
+        const core::ArbitrationResult r = sched.arbitrate(
+            fleet, active, mode, bandwidth,
+            core::ArbiterPolicy::RoundRobin, rounds);
+        for (const core::TileSchedule &t : r.tiles)
+            row.observedCycles =
+                std::max(row.observedCycles, t.cycles.size());
+    }
+
+    row.sound = row.bound.totalBoundCycles >= row.observedCycles;
+    row.tight = tiles > 1
+        || double(row.bound.totalBoundCycles)
+            <= 1.5 * double(row.observedCycles);
+    return row;
+}
+
+/** Serialize the --timing rows as the JSON "timing" section. */
+std::string
+timingJsonSection(const std::vector<TimingRow> &rows)
+{
+    std::ostringstream os;
+    os << "\"timing\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const TimingRow &r = rows[i];
+        os << (i ? "," : "") << "\n    {"
+           << "\"protocol\": \"" << r.protocol << "\", "
+           << "\"design\": \"" << r.design << "\", "
+           << "\"mode\": \"" << r.mode << "\", "
+           << "\"tiles\": " << r.tiles << ", "
+           << "\"rounds\": " << r.rounds << ", "
+           << "\"critical_path_cycles\": "
+           << r.bound.criticalPathCycles << ", "
+           << "\"width_bound_cycles\": "
+           << r.bound.widthBoundCycles << ", "
+           << "\"bound_cycles\": " << r.bound.totalBoundCycles
+           << ", "
+           << "\"observed_cycles\": " << r.observedCycles << ", "
+           << "\"ratio\": "
+           << (r.observedCycles
+                   ? double(r.bound.totalBoundCycles)
+                       / double(r.observedCycles)
+                   : 0.0)
+           << ", "
+           << "\"deadline_cycles\": " << r.deadlineCycles << ", "
+           << "\"slack_cycles\": "
+           << (long(r.deadlineCycles)
+               - long(r.bound.totalBoundCycles))
+           << ", "
+           << "\"sound\": " << (r.sound ? "true" : "false") << ", "
+           << "\"tight\": " << (r.tight ? "true" : "false") << "}";
+    }
+    if (!rows.empty())
+        os << "\n  ";
+    os << "]";
+    return os.str();
+}
+
 int
 cmdVerify(const Options &opts)
 {
@@ -402,6 +530,11 @@ cmdVerify(const Options &opts)
     if (opts.has("trace"))
         trace = isa::LogicalTrace::loadBinary(
             opts.get("trace", "trace.qtrace"));
+
+    const bool timing = opts.has("timing");
+    const auto timingTiles = std::size_t(opts.getInt("tiles", 1));
+    const auto timingRounds = std::size_t(opts.getInt("rounds", 1));
+    std::vector<TimingRow> timingRows;
 
     verify::Report combined;
     for (const qecc::Protocol p : protocols) {
@@ -426,9 +559,72 @@ cmdVerify(const Options &opts)
             bundle.artifacts.trace = trace;
             bundle.artifacts.rotationEpsilon =
                 opts.getDouble("epsilon", 0.0);
+            if (timing) {
+                bundle.artifacts.timing.rounds = timingRounds;
+                bundle.artifacts.timing.contentionTiles =
+                    timingTiles;
+            }
             combined.merge(
                 verify::Verifier().run(bundle.artifacts));
+            if (timing)
+                for (const core::SchedulingMode mode :
+                     {core::SchedulingMode::InOrder,
+                      core::SchedulingMode::OutOfOrder})
+                    timingRows.push_back(runTimingDifferential(
+                        cfg, bundle, mode, timingTiles,
+                        timingRounds));
         }
+    }
+
+    bool timingGatesPass = true;
+    if (timing) {
+        sim::Table table("timing: static bound vs dynamic run ("
+                         + std::to_string(timingTiles) + " tile(s), "
+                         + std::to_string(timingRounds)
+                         + " round(s))");
+        table.header({ "config", "mode", "cp", "width", "bound",
+                       "observed", "ratio", "deadline", "slack" });
+        for (const TimingRow &r : timingRows) {
+            char ratio[32];
+            std::snprintf(ratio, sizeof(ratio), "%.3f",
+                          r.observedCycles
+                              ? double(r.bound.totalBoundCycles)
+                                  / double(r.observedCycles)
+                              : 0.0);
+            table.row({
+                r.protocol + "/" + r.design,
+                r.mode,
+                std::to_string(r.bound.criticalPathCycles),
+                std::to_string(r.bound.widthBoundCycles),
+                std::to_string(r.bound.totalBoundCycles),
+                std::to_string(r.observedCycles),
+                ratio,
+                std::to_string(r.deadlineCycles),
+                std::to_string(long(r.deadlineCycles)
+                               - long(r.bound.totalBoundCycles)),
+            });
+            if (!r.sound) {
+                timingGatesPass = false;
+                std::fprintf(stderr,
+                             "timing: UNSOUND bound for %s/%s %s: "
+                             "bound %zu < observed %zu\n",
+                             r.protocol.c_str(), r.design.c_str(),
+                             r.mode.c_str(),
+                             r.bound.totalBoundCycles,
+                             r.observedCycles);
+            }
+            if (!r.tight) {
+                timingGatesPass = false;
+                std::fprintf(stderr,
+                             "timing: LOOSE bound for %s/%s %s: "
+                             "bound %zu > 1.5x observed %zu\n",
+                             r.protocol.c_str(), r.design.c_str(),
+                             r.mode.c_str(),
+                             r.bound.totalBoundCycles,
+                             r.observedCycles);
+            }
+        }
+        table.print(std::cout);
     }
 
     if (opts.has("json")) {
@@ -437,12 +633,14 @@ cmdVerify(const Options &opts)
         if (!os)
             sim::fatal("cannot write diagnostics to %s",
                        path.c_str());
-        combined.writeJson(os);
+        combined.writeJson(os, 0,
+                           timing ? timingJsonSection(timingRows)
+                                  : std::string());
         std::fprintf(stderr, "wrote diagnostics to %s\n",
                      path.c_str());
     }
     std::printf("%s\n", combined.toString().c_str());
-    return combined.ok() ? 0 : 1;
+    return combined.ok() && timingGatesPass ? 0 : 1;
 }
 
 /** Split a comma-separated flag value ("3,5,7"). */
@@ -668,7 +866,11 @@ usage()
         "  verify     [--protocol S] [--design D] [--distance D]\n"
         "             [--tech T] [--channels N] [--bank-bits N]\n"
         "             [--trace FILE] [--epsilon E] [--json FILE]\n"
-        "             (defaults sweep every protocol x design)\n"
+        "             [--timing [--tiles N] [--rounds R]]\n"
+        "             (defaults sweep every protocol x design;\n"
+        "             --timing cross-checks the static WCET bound\n"
+        "             against the dynamic scheduler and gates\n"
+        "             soundness and 1.5x tightness)\n"
         "  serve      [--port P] [--port-file FILE] [--csv FILE]\n"
         "             [--protocols A,B] [--distances 3,5]\n"
         "             [--error-rates 1e-3,...] [--trials N]\n"

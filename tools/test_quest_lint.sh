@@ -1,6 +1,6 @@
 #!/bin/sh
-# Regression test for the det-unordered-iteration and
-# det-simd-dispatch determinism rules.
+# Regression test for the det-unordered-iteration,
+# det-simd-dispatch and det-metric-local-static determinism rules.
 #
 # PR 8 audited the two known std::unordered_* / same-tick ordering
 # hot spots (LogicalInstructionCache::_index, point-access only, and
@@ -111,4 +111,54 @@ fast()
 EOF
 python3 "$tmp/tools/quest_lint" "$tmp/src/quantum/bad_simd.cpp"
 
-echo "quest_lint det-unordered-iteration + det-simd-dispatch: OK"
+# 7. A function-local static bound to the metrics registry must
+#    trip det-metric-local-static (the registry-lifetime hazard the
+#    bound-at-construction members in DynamicScheduler/EventQueue
+#    exist to avoid), including when the initializer wraps lines.
+cat > "$tmp/src/core/bad_metric.cpp" <<'EOF'
+#include "sim/metrics.hpp"
+
+void
+bump()
+{
+    static auto &calls =
+        quest::sim::metrics::Registry::global().counter(
+            "core.bump.calls", "calls into bump()");
+    ++calls;
+}
+EOF
+if python3 "$tmp/tools/quest_lint" "$tmp/src/core/bad_metric.cpp" \
+    > "$tmp/out.txt" 2>&1; then
+    echo "FAIL: linter accepted a static metrics-registry ref" >&2
+    cat "$tmp/out.txt" >&2
+    exit 1
+fi
+grep -q "det-metric-local-static" "$tmp/out.txt"
+
+# 8. The same binding under an explicit allow() is accepted, and a
+#    non-static registry use never fires the rule.
+cat > "$tmp/src/core/bad_metric.cpp" <<'EOF'
+#include "sim/metrics.hpp"
+
+void
+bump()
+{
+    // quest-lint: allow(det-metric-local-static)
+    static auto &calls =
+        quest::sim::metrics::Registry::global().counter(
+            "core.bump.calls", "calls into bump()");
+    ++calls;
+}
+
+void
+bumpFresh()
+{
+    auto &calls = quest::sim::metrics::Registry::global().counter(
+        "core.bump.fresh", "per-call registry lookup is fine");
+    ++calls;
+}
+EOF
+python3 "$tmp/tools/quest_lint" "$tmp/src/core/bad_metric.cpp"
+
+echo "quest_lint det-unordered-iteration + det-simd-dispatch +" \
+     "det-metric-local-static: OK"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Schema smoke test for `quest verify --json`.
+#
+# The diagnostics JSON is a machine interface (CI artifacts, the
+# verify-timing job, downstream dashboards), so its shape is pinned
+# here: the top-level keys must stay stable, the --timing section
+# must carry its full row schema (bounds, observed cycles, ratio,
+# deadline slack, gate verdicts), the document must parse as JSON,
+# and a failing verification must still write the document while
+# exiting nonzero.
+#
+# Usage: test_verify_json.sh /path/to/quest
+set -eu
+
+quest="${1:?usage: test_verify_json.sh /path/to/quest}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. A clean single-config run with --timing: exit 0, every stable
+#    key present.
+"$quest" verify --protocol Steane --design RAM --timing --tiles 2 \
+    --rounds 2 --json "$tmp/ok.json" > /dev/null
+
+for key in '"ok"' '"errors"' '"warnings"' '"passes"' \
+           '"diagnostics"' '"timing"'; do
+    grep -q "$key" "$tmp/ok.json" || {
+        echo "FAIL: missing top-level key $key" >&2
+        cat "$tmp/ok.json" >&2
+        exit 1
+    }
+done
+grep -q '"ok": true' "$tmp/ok.json"
+
+# The seven-pass catalogue must list the timing passes.
+grep -q '"timing"' "$tmp/ok.json"
+grep -q '"contention"' "$tmp/ok.json"
+
+# 2. Every --timing row field the CI sweep consumes.
+for key in '"protocol"' '"design"' '"mode"' '"tiles"' '"rounds"' \
+           '"critical_path_cycles"' '"width_bound_cycles"' \
+           '"bound_cycles"' '"observed_cycles"' '"ratio"' \
+           '"deadline_cycles"' '"slack_cycles"' '"sound"' \
+           '"tight"'; do
+    grep -q "$key" "$tmp/ok.json" || {
+        echo "FAIL: missing timing-row key $key" >&2
+        cat "$tmp/ok.json" >&2
+        exit 1
+    }
+done
+grep -q '"sound": true' "$tmp/ok.json"
+grep -q '"tight": true' "$tmp/ok.json"
+
+# 3. The document is well-formed JSON (when python3 is available).
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+        "$tmp/ok.json"
+fi
+
+# 4. A failing verification (d=5 RAM blows the capacity budget)
+#    still writes the document — with ok:false and a diagnostic —
+#    and exits nonzero.
+if "$quest" verify --protocol Steane --design RAM --distance 5 \
+    --json "$tmp/fail.json" > /dev/null 2>&1; then
+    echo "FAIL: verify exited zero on a capacity violation" >&2
+    exit 1
+fi
+grep -q '"ok": false' "$tmp/fail.json"
+grep -q '"budget.capacity"' "$tmp/fail.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+        "$tmp/fail.json"
+fi
+
+echo "quest verify --json schema: OK"
